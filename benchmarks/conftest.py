@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper.  The
+simulations behind them are expensive, so:
+
+* all benchmarks share the on-disk result cache (``.repro_cache``), and
+* each is run once per session via ``benchmark.pedantic(rounds=1)`` —
+  the interesting output is the regenerated rows/series printed to the
+  terminal (and the shape assertions), not sub-millisecond timing noise.
+
+Set ``REPRO_NO_CACHE=1`` to force fresh simulations.
+"""
+
+import pytest
+
+from repro.harness.runner import Runner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Shared caching runner for the whole benchmark session."""
+    return Runner()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the Section VI-G hardware-cost analysis."""
+
+from conftest import run_once
+
+from repro.core.hardware_cost import amt_cost, l1d_area_ratio
+
+
+def test_sec6g_hardware_cost(benchmark):
+    cost = run_once(benchmark, amt_cost, 128, 4, 5)
+    print("\n" + cost.describe())
+    print(f"L1D/AMT area ratio: {l1d_area_ratio(cost):.1f}x")
+
+    # The paper's exact numbers.
+    assert cost.bits_per_entry == 55
+    assert cost.rounded_bits_per_entry == 64
+    assert cost.storage_bytes == 1024  # 1 KB per core
+    assert 14 < l1d_area_ratio(cost) < 17  # "15x larger"

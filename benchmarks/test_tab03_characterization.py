@@ -1,0 +1,33 @@
+"""Benchmark: regenerate paper Table III (benchmark characterization)."""
+
+from conftest import run_once
+
+from repro.harness.tables import table1, table2, table3, table4
+
+
+def test_tab01_static_policy_matrix(benchmark):
+    text = run_once(benchmark, table1)
+    print("\n" + text)
+    assert "present-near" in text
+
+
+def test_tab02_system_configuration(benchmark):
+    text = run_once(benchmark, table2)
+    print("\n" + text)
+    assert "32 out-of-order cores" in text
+
+
+def test_tab03_workload_characterization(benchmark):
+    text = run_once(benchmark, table3)
+    print("\n" + text)
+    # All 21 Table III benchmarks present.
+    for code in ("BAR", "GME", "HIST", "SPMV", "TC"):
+        assert f" {code} " in text
+    # The graph workloads carry the large AMO footprints.
+    assert "KB" in text
+
+
+def test_tab04_alternatives(benchmark):
+    text = run_once(benchmark, table4)
+    print("\n" + text)
+    assert "DynAMO" in text

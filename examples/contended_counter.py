@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1 experiment as a library walkthrough.
+
+Builds a custom program (not a registered workload) in which every thread
+hammers one shared counter, and sweeps thread count for three mechanisms:
+near atomics, far AtomicLoads, and far AtomicStores.  Demonstrates:
+
+* writing programs directly against the generator API;
+* constructing machines with explicit policies;
+* the near/far crossover that motivates dynamic placement.
+
+Run:  python examples/contended_counter.py
+"""
+
+from repro import DEFAULT_CONFIG, Machine, run
+from repro.frontend import GeneratorProgram, ldadd, stadd, think
+
+COUNTER = 0x10_0000
+ITERATIONS = 300
+
+
+def counter_program(use_store: bool) -> GeneratorProgram:
+    """One thread's loop: a little compute, then one atomic update."""
+    def body(core_id: int):
+        for _ in range(ITERATIONS):
+            yield think(2)
+            if use_store:
+                yield stadd(COUNTER, 1)
+            else:
+                yield ldadd(COUNTER, 1)
+    return GeneratorProgram(body)
+
+
+def throughput(policy: str, threads: int, use_store: bool) -> float:
+    machine = Machine(DEFAULT_CONFIG, policy)
+    programs = [counter_program(use_store) for _ in range(threads)]
+    result = run(machine, programs)
+    total = machine.read_value(COUNTER)
+    assert total == threads * ITERATIONS, "atomicity violated?!"
+    return 1000.0 * total / result.cycles
+
+
+def main() -> None:
+    print(f"{'threads':>8} {'Atomic-Near':>12} {'AtomicLoad-Far':>15} "
+          f"{'AtomicStore-Far':>16}   (updates/kilocycle)")
+    for threads in (1, 2, 4, 8, 16):
+        near = throughput("all-near", threads, use_store=True)
+        far_load = throughput("unique-near", threads, use_store=False)
+        far_store = throughput("unique-near", threads, use_store=True)
+        print(f"{threads:>8} {near:>12.1f} {far_load:>15.1f} "
+              f"{far_store:>16.1f}")
+    print("\nNear wins single-threaded (L1 hits); as contention grows the")
+    print("block ping-pongs between L1Ds and the centralized far")
+    print("AtomicStore sustains the highest throughput — the paper's")
+    print("Figure 1, and the reason placement should be dynamic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Write your own placement policy and race it against the built-ins.
+
+The public policy interface is one method (``decide``) plus optional
+learning hooks.  This example implements two custom policies:
+
+* ``CoinFlipPolicy`` — a deterministic near/far alternator (a sanity
+  floor: any learned policy should beat it);
+* ``StickyPolicy`` — predicts far after two consecutive invalidations of
+  the same block, a miniature cousin of DynAMO-Metric.
+
+They are evaluated on the input-sensitive Histogram workload against
+All Near and DynAMO-Reuse-PN.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro import DEFAULT_CONFIG, Machine, run
+from repro.core.policy import AmoPolicy, Placement
+from repro.core.registry import POLICIES
+from repro.workloads import make_workload
+
+
+class CoinFlipPolicy(AmoPolicy):
+    """Alternates near/far decisions — deliberately clueless."""
+
+    name = "coin-flip"
+
+    def __init__(self):
+        self._flip = False
+
+    def decide(self, block, state, now):
+        self._flip = not self._flip
+        return Placement.NEAR if self._flip else Placement.FAR
+
+
+class StickyPolicy(AmoPolicy):
+    """Far after two consecutive invalidations of a block; near otherwise."""
+
+    name = "sticky"
+
+    def __init__(self):
+        self._strikes = {}
+
+    def decide(self, block, state, now):
+        if self._strikes.get(block, 0) >= 2:
+            return Placement.FAR
+        return Placement.NEAR
+
+    def on_invalidation(self, block, now):
+        self._strikes[block] = self._strikes.get(block, 0) + 1
+
+    def on_near_amo(self, block, now):
+        self._strikes[block] = 0
+
+
+def evaluate(policy_name: str, input_name: str, factory=None) -> int:
+    workload = make_workload("HIST", DEFAULT_CONFIG.num_cores,
+                             input_name=input_name)
+    machine = Machine(DEFAULT_CONFIG, policy_name if factory is None
+                      else "all-near")
+    if factory is not None:
+        # Swap in one custom policy instance per core.
+        machine.policies = [factory() for _ in range(DEFAULT_CONFIG.num_cores)]
+        machine.policy_name = factory().name
+    result = run(machine, workload.programs())
+    return result.cycles
+
+
+def main() -> None:
+    contenders = [
+        ("all-near", None),
+        ("dynamo-reuse-pn", None),
+        ("coin-flip", CoinFlipPolicy),
+        ("sticky", StickyPolicy),
+    ]
+    for input_name in ("IMG", "BMP24"):
+        print(f"\nHistogram / {input_name}")
+        base = evaluate("all-near", input_name)
+        for name, factory in contenders:
+            cycles = base if name == "all-near" else \
+                evaluate(name, input_name, factory)
+            print(f"  {name:18s} {cycles:>9d} cycles  "
+                  f"({base / cycles:.2f}x vs all-near)")
+    print("\nBuilt-in policies available out of the box:",
+          ", ".join(sorted(POLICIES)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under two AMO placement policies.
+
+Runs the Histogram workload (a far-AMO-friendly streaming kernel) under
+the hardware default (All Near) and under the DynAMO-Reuse-PN predictor,
+then prints the speed-up and where the AMOs executed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DEFAULT_CONFIG, Machine, run
+from repro.workloads import make_workload
+
+
+def simulate(policy: str):
+    workload = make_workload("HIST", DEFAULT_CONFIG.num_cores)
+    machine = Machine(DEFAULT_CONFIG, policy)
+    result = run(machine, workload.programs())
+    return result
+
+
+def main() -> None:
+    baseline = simulate("all-near")
+    dynamo = simulate("dynamo-reuse-pn")
+
+    print("Histogram on the 16-core default system")
+    print("-" * 55)
+    for result in (baseline, dynamo):
+        stats = result.stats
+        print(f"{result.policy:16s} {result.cycles:>9d} cycles   "
+              f"near={stats.near_amos:<6d} far={stats.far_amos:<6d} "
+              f"avg AMO latency={result.avg_amo_latency:.1f}")
+    speedup = dynamo.speedup_over(baseline)
+    print("-" * 55)
+    print(f"DynAMO-Reuse-PN speed-up over All Near: {speedup:.2f}x")
+    print("The predictor learned that the histogram bins are a streaming")
+    print("working set and pushed their updates to the home nodes,")
+    print("keeping the per-thread lookup tables resident in the L1D.")
+
+
+if __name__ == "__main__":
+    main()

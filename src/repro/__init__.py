@@ -1,0 +1,36 @@
+"""DynAMO reproduction: dynamic placement of atomic memory operations.
+
+A transaction-level multi-core simulator (CHI-style MOESI coherence,
+2D-mesh NoC, HBM memory model, trace-driven cores with AMO commit
+semantics) plus the paper's contribution on top: the five static AMO
+placement policies of Table I and the DynAMO predictors (metric-based and
+reuse-based, -UN/-PN flavours).
+
+Quick start::
+
+    from repro import Machine, DEFAULT_CONFIG, run
+    from repro.workloads import make_workload
+
+    workload = make_workload("HIST", DEFAULT_CONFIG.num_cores)
+    machine = Machine(DEFAULT_CONFIG, policy_name="dynamo-reuse-pn")
+    result = run(machine, workload.programs())
+    print(result.summary())
+
+See ``repro --help`` (or ``python -m repro``) for the experiment harness
+that regenerates every figure and table of the paper.
+"""
+
+from repro.core import (POLICIES, AmoPolicy, DynamoMetricPolicy,
+                        DynamoReusePolicy, Placement, make_policy)
+from repro.sim import (DEFAULT_CONFIG, PAPER_CONFIG, Machine,
+                       SimulationResult, SystemConfig, run)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POLICIES", "AmoPolicy", "DynamoMetricPolicy", "DynamoReusePolicy",
+    "Placement", "make_policy",
+    "DEFAULT_CONFIG", "PAPER_CONFIG", "Machine", "SimulationResult",
+    "SystemConfig", "run",
+    "__version__",
+]

@@ -1,0 +1,129 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands:
+
+* ``repro list`` — registered workloads and policies.
+* ``repro run WORKLOAD [--policy P] [--threads N] [--scale S] [--input I]``
+  — simulate one cell and print its summary.
+* ``repro figure {1,6,7,8,9,10,11,energy}`` — regenerate a paper figure.
+* ``repro table {1,2,3,4}`` — print a paper table.
+* ``repro cost [--entries N] [--ways W] [--counter-bits B]`` — AMT
+  hardware cost (paper Section VI-G).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.hardware_cost import amt_cost, l1d_area_ratio
+from repro.core.registry import POLICIES
+from repro.harness.figures import FIGURES
+from repro.harness.runner import Runner
+from repro.harness.tables import TABLES
+from repro.sim.config import DEFAULT_CONFIG, PAPER_CONFIG
+from repro.workloads import TABLE_III_CODES, WORKLOADS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DynAMO (ISCA 2023) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies")
+
+    run = sub.add_parser("run", help="simulate one workload/policy cell")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--policy", default="all-near",
+                     choices=sorted(POLICIES))
+    run.add_argument("--threads", type=int, default=None)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--input", dest="input_name", default=None)
+    run.add_argument("--paper-system", action="store_true",
+                     help="use the full Table II system (32 cores)")
+    run.add_argument("--no-cache", action="store_true")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("which", choices=sorted(FIGURES))
+    fig.add_argument("--no-cache", action="store_true")
+
+    tab = sub.add_parser("table", help="print a paper table")
+    tab.add_argument("which", choices=sorted(TABLES))
+
+    cost = sub.add_parser("cost", help="AMT hardware cost (Section VI-G)")
+    cost.add_argument("--entries", type=int, default=128)
+    cost.add_argument("--ways", type=int, default=4)
+    cost.add_argument("--counter-bits", type=int, default=5)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Workloads (Table III order):")
+    for code in TABLE_III_CODES:
+        spec = WORKLOADS[code].spec
+        print(f"  {code:8} {spec.name:14} {spec.suite:9} "
+              f"[{spec.intensity}] {spec.primitives}")
+    extra = sorted(set(WORKLOADS) - set(TABLE_III_CODES))
+    for code in extra:
+        spec = WORKLOADS[code].spec
+        print(f"  {code:8} {spec.name:14} {spec.suite:9} "
+              f"[{spec.intensity}] {spec.primitives}")
+    print("\nPolicies:")
+    for name in POLICIES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = PAPER_CONFIG if args.paper_system else DEFAULT_CONFIG
+    runner = Runner(config=config, use_cache=not args.no_cache)
+    result = runner.run(args.workload, args.policy, threads=args.threads,
+                        scale=args.scale, seed=args.seed,
+                        input_name=args.input_name)
+    print(result.summary())
+    print(f"  energy breakdown (nJ): "
+          + ", ".join(f"{k}={v:.1f}" for k, v in result.energy.items()))
+    print(f"  messages: {result.traffic.total_messages()} "
+          f"({result.traffic.flit_hops} flit-hops)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = FIGURES[args.which]
+    if args.no_cache:
+        data = driver(runner=Runner(use_cache=False)) \
+            if args.which not in ("1",) else driver()
+    else:
+        data = driver()
+    print(data.render())
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    cost = amt_cost(args.entries, args.ways, args.counter_bits)
+    print(cost.describe())
+    print(f"L1D is ~{l1d_area_ratio(cost):.1f}x larger than this AMT")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table":
+        print(TABLES[args.which]())
+        return 0
+    if args.command == "cost":
+        return _cmd_cost(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

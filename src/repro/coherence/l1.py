@@ -1,0 +1,153 @@
+"""Private cache hierarchy of one core: L1D plus a local L2.
+
+Coherence state lives with the block wherever it currently resides in the
+private hierarchy.  The L2 acts as a victim cache for L1D evictions (the
+common behaviour for the private L2 of the simulated system): blocks move
+L2 -> L1 on access and L1 -> L2 on eviction, and leave the private
+hierarchy entirely when evicted from L2 or invalidated by a snoop.
+
+Two kinds of "departure" matter to different consumers:
+
+* *L1 departures* (to the L2 or out) feed the DynAMO reuse predictor,
+  which tracks block lifespans in the L1D specifically (Section V-C).
+* *Hierarchy departures* (out of both levels) must be reported to the
+  directory, and dirty ones write their data back to the LLC.
+
+This module is purely structural — all timing lives in
+:class:`repro.sim.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.coherence.cache import CacheLine, SetAssocCache
+from repro.coherence.states import CacheState
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.config import SystemConfig
+
+
+@dataclass
+class Departure:
+    """A block that left the L1D and possibly the whole private hierarchy."""
+
+    line: CacheLine
+    #: True when the block also left the L2 (directory must be updated).
+    left_hierarchy: bool
+
+
+@dataclass
+class InsertResult:
+    """Outcome of allocating a block into the L1D."""
+
+    departures: List[Departure] = field(default_factory=list)
+
+
+class PrivateCacheHierarchy:
+    """L1D + private L2 of a single core."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.l1 = SetAssocCache(config.l1_size, config.l1_ways,
+                                config.block_size)
+        self.l2 = SetAssocCache(config.l2_size, config.l2_ways,
+                                config.block_size)
+
+    # --- lookups ---
+
+    def l1_state(self, block: int) -> CacheState:
+        """Coherence state as seen by the L1D controller (policy input).
+
+        A block resident only in the L2 reads as Invalid here: the
+        placement decision is keyed on the *L1D* state (Table I), which is
+        exactly why the Shared Far policy re-fetches absent blocks — they
+        may merely have been evicted to the L2.
+        """
+        line = self.l1.lookup(block, touch=False)
+        return line.state if line is not None else CacheState.I
+
+    def find(self, block: int) -> Tuple[Optional[CacheLine], Optional[int]]:
+        """Locate ``block``; returns (line, level) with level 1, 2 or None."""
+        line = self.l1.lookup(block, touch=False)
+        if line is not None:
+            return line, 1
+        line = self.l2.lookup(block, touch=False)
+        if line is not None:
+            return line, 2
+        return None, None
+
+    def touch_l1(self, block: int) -> Optional[CacheLine]:
+        """LRU-touch an L1-resident block and mark AMO-fetched reuse."""
+        line = self.l1.lookup(block, touch=True)
+        if line is not None and line.fetched_by_amo:
+            line.reused = True
+        return line
+
+    # --- allocation and movement ---
+
+    def insert_l1(self, block: int, state: CacheState,
+                  fetched_by_amo: bool = False) -> InsertResult:
+        """Allocate ``block`` into the L1D, spilling victims to the L2.
+
+        Returns the departures triggered by the allocation: the L1 victim
+        (if any) always departs the L1; if spilling it into the L2 evicts
+        an L2 victim, that block departs the hierarchy.
+        """
+        result = InsertResult()
+        new_line = CacheLine(block, state, fetched_by_amo)
+        # The block may be in L2 (promotion): remove the stale copy first.
+        self.l2.remove(block)
+        l1_victim = self.l1.insert(new_line)
+        if l1_victim is not None:
+            l2_victim = self.l2.insert(l1_victim)
+            result.departures.append(Departure(l1_victim, left_hierarchy=False))
+            if l2_victim is not None:
+                result.departures.append(Departure(l2_victim, left_hierarchy=True))
+        return result
+
+    def promote(self, block: int, fetched_by_amo: bool = False) -> InsertResult:
+        """Move an L2-resident block into the L1D (L2 hit path).
+
+        The promoted residency starts a fresh reuse epoch; pass
+        ``fetched_by_amo`` when the access performing the promotion is a
+        near AMO.
+
+        Raises:
+            KeyError: if the block is not in the L2.
+        """
+        line = self.l2.lookup(block, touch=False)
+        if line is None:
+            raise KeyError(f"block {block:#x} not resident in L2")
+        return self.insert_l1(block, line.state, fetched_by_amo)
+
+    def set_state(self, block: int, state: CacheState) -> None:
+        """Change the coherence state of a resident block (either level)."""
+        line, _level = self.find(block)
+        if line is None:
+            raise KeyError(f"block {block:#x} not resident")
+        line.state = state
+
+    def invalidate(self, block: int) -> Tuple[Optional[CacheLine], bool]:
+        """Snoop-invalidate ``block`` from both levels.
+
+        Returns ``(line, was_in_l1)`` where ``line`` is the removed copy
+        (None when the block was not resident).
+        """
+        line = self.l1.remove(block)
+        if line is not None:
+            self.l2.remove(block)
+            return line, True
+        line = self.l2.remove(block)
+        return line, False
+
+    def downgrade(self, block: int, state: CacheState) -> bool:
+        """Snoop-downgrade a resident block to ``state`` (e.g. UD -> SC).
+
+        Returns True when the block was resident.
+        """
+        line, _level = self.find(block)
+        if line is None:
+            return False
+        line.state = state
+        return True

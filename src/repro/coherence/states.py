@@ -1,0 +1,58 @@
+"""Cache-block coherence states of the AMBA 5 CHI protocol.
+
+CHI implements a tunable MOESI protocol with its own naming convention
+(paper Section II-B):
+
+===========  ======  ===============================================
+CHI name     MOESI   Meaning at the private (L1D/L2) cache
+===========  ======  ===============================================
+UniqueClean  E       only copy, matches memory
+UniqueDirty  M       only copy, modified
+SharedClean  S       possibly other copies, matches memory/LLC
+SharedDirty  O       possibly other copies, this cache owns the data
+Invalid      I       no valid copy
+===========  ======  ===============================================
+
+Static AMO policies (Table I) and the DynAMO predictors key their
+decisions on this state as observed at the requesting L1D.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CacheState(enum.Enum):
+    """Coherence state of a block in a private cache (CHI naming)."""
+
+    UC = "UniqueClean"
+    UD = "UniqueDirty"
+    SC = "SharedClean"
+    SD = "SharedDirty"
+    I = "Invalid"  # noqa: E741 - the protocol's own name
+
+    @property
+    def is_unique(self) -> bool:
+        """True when the cache holds the only copy (write permission)."""
+        return self in (CacheState.UC, CacheState.UD)
+
+    @property
+    def is_shared(self) -> bool:
+        """True when other caches may hold read-only copies."""
+        return self in (CacheState.SC, CacheState.SD)
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CacheState.I
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when this cache is responsible for writing data back."""
+        return self in (CacheState.UD, CacheState.SD)
+
+
+#: The states a placement policy actually chooses between.  When the block
+#: is already Unique in the L1D, issuing a far AMO is a pathological case
+#: (the HN would have to snoop the requestor itself, Section II-B), so every
+#: policy and both predictors execute those AMOs near unconditionally.
+DECIDABLE_STATES = (CacheState.I, CacheState.SC, CacheState.SD)

@@ -1,0 +1,24 @@
+"""The paper's contribution: static AMO policies and DynAMO predictors."""
+
+from repro.core.amt import AmoMetadataTable
+from repro.core.dynamo_metric import DynamoMetricPolicy, MetricEntry
+from repro.core.dynamo_reuse import (DynamoReusePolicy, ReuseEntry,
+                                     dynamo_reuse_pn, dynamo_reuse_un)
+from repro.core.hardware_cost import AmtCost, amt_cost, l1d_area_ratio
+from repro.core.policy import AmoPolicy, Placement, PolicyStats
+from repro.core.registry import (DYNAMO_POLICY_NAMES, POLICIES,
+                                 STATIC_POLICY_NAMES, make_policy)
+from repro.core.static_policies import (BASELINE_POLICY, STATIC_POLICIES,
+                                        StaticPolicy, all_near, dirty_near,
+                                        present_near, shared_far, table_i_rows,
+                                        unique_near)
+
+__all__ = [
+    "AmoMetadataTable", "DynamoMetricPolicy", "MetricEntry",
+    "DynamoReusePolicy", "ReuseEntry", "dynamo_reuse_pn", "dynamo_reuse_un",
+    "AmtCost", "amt_cost", "l1d_area_ratio",
+    "AmoPolicy", "Placement", "PolicyStats",
+    "DYNAMO_POLICY_NAMES", "POLICIES", "STATIC_POLICY_NAMES", "make_policy",
+    "BASELINE_POLICY", "STATIC_POLICIES", "StaticPolicy", "all_near",
+    "dirty_near", "present_near", "shared_far", "table_i_rows", "unique_near",
+]

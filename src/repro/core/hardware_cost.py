@@ -1,0 +1,90 @@
+"""AMT hardware cost accounting (paper Section VI-G).
+
+The paper reports, for the best 128-entry 4-way configuration with a 5-bit
+confidence counter: 49 tag bits + 5 counter bits + 1 reuse bit = 55 bits
+per entry, rounded to 64; 1 KB of storage per core; and a CACTI 6.5 area
+estimate of 0.0196 mm^2 at 22 nm — about 15x smaller than the 64 KB L1D's
+0.3020 mm^2.  This module reproduces that arithmetic parametrically so the
+cost of any AMT configuration in the Fig. 10 sweep can be reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.frontend.isa import BLOCK_SHIFT
+
+#: Physical-address width assumed by the paper's 49-bit tag:
+#: 60 = 49 tag + 5 set-index (32 sets) + 6 block-offset bits.
+PHYSICAL_ADDRESS_BITS = 60
+
+#: CACTI 6.5 reference points at 22 nm from the paper (bytes -> mm^2).
+_CACTI_POINTS = ((1024, 0.0196), (64 * 1024, 0.3020))
+
+
+@dataclass(frozen=True)
+class AmtCost:
+    """Storage and area of one per-core AMT."""
+
+    entries: int
+    ways: int
+    counter_bits: int
+    tag_bits: int
+    bits_per_entry: int
+    rounded_bits_per_entry: int
+    storage_bytes: int
+    area_mm2: float
+
+    def describe(self) -> str:
+        return (f"{self.entries}-entry {self.ways}-way AMT: "
+                f"{self.tag_bits}b tag + {self.counter_bits}b counter + 1b "
+                f"reuse = {self.bits_per_entry}b/entry "
+                f"(rounded to {self.rounded_bits_per_entry}b), "
+                f"{self.storage_bytes} B storage, "
+                f"~{self.area_mm2:.4f} mm^2 @ 22nm")
+
+
+def _interpolated_area(storage_bytes: int) -> float:
+    """Log-log interpolation through the paper's two CACTI points."""
+    (s0, a0), (s1, a1) = _CACTI_POINTS
+    slope = math.log(a1 / a0) / math.log(s1 / s0)
+    return a0 * (storage_bytes / s0) ** slope
+
+
+def amt_cost(entries: int = 128, ways: int = 4, counter_bits: int = 5,
+             physical_address_bits: int = PHYSICAL_ADDRESS_BITS) -> AmtCost:
+    """Compute storage/area for an AMT configuration.
+
+    Raises:
+        ValueError: for a geometry where entries is not a multiple of ways.
+    """
+    if entries <= 0 or ways <= 0 or entries % ways != 0:
+        raise ValueError("entries must be a positive multiple of ways")
+    num_sets = entries // ways
+    index_bits = int(math.log2(num_sets)) if num_sets > 1 else 0
+    if 1 << index_bits != num_sets:
+        raise ValueError("number of AMT sets must be a power of two")
+    tag_bits = physical_address_bits - BLOCK_SHIFT - index_bits
+    bits = tag_bits + counter_bits + 1  # +1 reuse bit
+    rounded = 8 * math.ceil(bits / 8)
+    # The paper rounds 55 bits up to a 64-bit entry; generalize to the
+    # next power-of-two byte width for wide entries.
+    if rounded < 64:
+        rounded = 64
+    storage = entries * rounded // 8
+    return AmtCost(
+        entries=entries,
+        ways=ways,
+        counter_bits=counter_bits,
+        tag_bits=tag_bits,
+        bits_per_entry=bits,
+        rounded_bits_per_entry=rounded,
+        storage_bytes=storage,
+        area_mm2=_interpolated_area(storage),
+    )
+
+
+def l1d_area_ratio(cost: AmtCost, l1d_bytes: int = 64 * 1024) -> float:
+    """How many times larger the L1D is than this AMT (paper: ~15x)."""
+    return _interpolated_area(l1d_bytes) / cost.area_mm2

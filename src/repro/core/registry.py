@@ -1,0 +1,80 @@
+"""Registry mapping policy names to per-core policy factories.
+
+The simulator attaches one policy instance per L1D cache, so the registry
+hands out *factories*: callables taking the :class:`SystemConfig` and
+returning a fresh policy.  DynAMO factories read the AMT sizing from the
+config, which is how the Fig. 10 sizing sweep is driven.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.core.dynamo_metric import DynamoMetricPolicy
+from repro.core.dynamo_reuse import DynamoReusePolicy
+from repro.core.policy import AmoPolicy
+from repro.core.static_policies import STATIC_POLICIES
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.config import SystemConfig
+
+PolicyFactory = Callable[["SystemConfig"], AmoPolicy]
+
+
+def _static_factory(name: str) -> PolicyFactory:
+    ctor = STATIC_POLICIES[name]
+
+    def factory(config: SystemConfig) -> AmoPolicy:
+        return ctor()
+
+    return factory
+
+
+def _dynamo_metric(config: SystemConfig) -> AmoPolicy:
+    return DynamoMetricPolicy(entries=config.amt_entries,
+                              ways=config.amt_ways)
+
+
+def _dynamo_reuse_un(config: SystemConfig) -> AmoPolicy:
+    return DynamoReusePolicy(entries=config.amt_entries,
+                             ways=config.amt_ways,
+                             counter_max=config.amt_counter_max,
+                             fallback_present_near=False)
+
+
+def _dynamo_reuse_pn(config: SystemConfig) -> AmoPolicy:
+    return DynamoReusePolicy(entries=config.amt_entries,
+                             ways=config.amt_ways,
+                             counter_max=config.amt_counter_max,
+                             fallback_present_near=True)
+
+
+POLICIES: Dict[str, PolicyFactory] = {
+    **{name: _static_factory(name) for name in STATIC_POLICIES},
+    "dynamo-metric": _dynamo_metric,
+    "dynamo-reuse-un": _dynamo_reuse_un,
+    "dynamo-reuse-pn": _dynamo_reuse_pn,
+}
+
+#: Names of the five static policies, Table I order.
+STATIC_POLICY_NAMES: List[str] = list(STATIC_POLICIES)
+
+#: Names of the dynamic predictors evaluated in Fig. 8.
+DYNAMO_POLICY_NAMES: List[str] = [
+    "dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn",
+]
+
+
+def make_policy(name: str, config: SystemConfig) -> AmoPolicy:
+    """Instantiate the policy ``name`` for one core.
+
+    Raises:
+        KeyError: for an unknown policy name (message lists valid names).
+    """
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return factory(config)

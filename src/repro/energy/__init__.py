@@ -1,0 +1,7 @@
+"""Dynamic-energy accounting (McPAT-style per-event model)."""
+
+from repro.energy.model import (DEFAULT_ENERGY, EnergyParams, attach_energy,
+                                energy_breakdown)
+
+__all__ = ["DEFAULT_ENERGY", "EnergyParams", "attach_energy",
+           "energy_breakdown"]

@@ -1,0 +1,14 @@
+"""Core-side frontend: the memory-op ISA and program abstraction."""
+
+from repro.frontend.isa import (AmoKind, MemOp, OpType, apply_amo, block_of,
+                                cas, ldadd, ldmax, ldmin, read, stadd, stmin,
+                                stswp, swap, think, write)
+from repro.frontend.program import (EmptyProgram, GeneratorProgram, OpStream,
+                                    Program)
+
+__all__ = [
+    "AmoKind", "MemOp", "OpType", "apply_amo", "block_of",
+    "cas", "ldadd", "ldmax", "ldmin", "read", "stadd", "stmin", "stswp", "swap",
+    "think", "write",
+    "EmptyProgram", "GeneratorProgram", "OpStream", "Program",
+]

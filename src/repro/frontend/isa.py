@@ -1,0 +1,185 @@
+"""Memory-operation "ISA" used by trace-driven programs.
+
+Programs (see :mod:`repro.frontend.program`) are generators that yield
+operations from this module and receive the operation's result back.  The
+vocabulary deliberately mirrors the AMBA 5 CHI / Armv8.1-LSE split the paper
+relies on:
+
+* ``AmoLoad`` — an atomic read-modify-write that *returns the old value*
+  (e.g. ``ldadd``, ``cas``, ``swp``).  These have load semantics: the issuing
+  core stalls at commit until the value arrives (paper Section III-B1).
+* ``AmoStore`` — an atomic read-modify-write with *no return value*
+  (e.g. ``stadd``, ``stmin``).  These retire through the store buffer and
+  only need a dataless acknowledgement, which is the key enabler for
+  high-throughput far AMOs.
+
+Plain ``Read``/``Write`` model ordinary loads and stores, and ``Think``
+models the non-memory instructions between memory operations (it is how
+workloads control their AMOs-per-kilo-instruction density).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Cache block size in bytes (fixed by the simulated system, Table II).
+BLOCK_SIZE = 64
+#: log2(BLOCK_SIZE), used to convert byte addresses to block numbers.
+BLOCK_SHIFT = 6
+
+
+def block_of(addr: int) -> int:
+    """Return the cache-block number that byte address ``addr`` falls in."""
+    return addr >> BLOCK_SHIFT
+
+
+class AmoKind(enum.Enum):
+    """Arithmetic performed by an atomic memory operation."""
+
+    ADD = "add"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    MIN = "min"
+    MAX = "max"
+    SWAP = "swap"
+    CAS = "cas"
+
+
+class OpType(enum.Enum):
+    """Top-level operation classes a program can issue."""
+
+    READ = "read"
+    WRITE = "write"
+    AMO_LOAD = "amo_load"
+    AMO_STORE = "amo_store"
+    THINK = "think"
+
+
+@dataclass
+class MemOp:
+    """A single dynamic operation issued by a program.
+
+    Attributes:
+        type: operation class.
+        addr: byte address (ignored for ``THINK``).
+        value: value written (``WRITE``) or AMO operand; for ``CAS`` this is
+            the *new* value and ``expected`` carries the comparand.
+        amo: arithmetic kind for AMO operations, ``None`` otherwise.
+        expected: comparand for ``CAS``.
+        cycles: duration for ``THINK`` operations.
+        instructions: how many committed instructions this op represents
+            (used for APKI accounting; ``THINK`` ops usually represent many).
+    """
+
+    type: OpType
+    addr: int = 0
+    value: int = 0
+    amo: Optional[AmoKind] = None
+    expected: int = 0
+    cycles: int = 0
+    instructions: int = 1
+
+    @property
+    def is_amo(self) -> bool:
+        return self.type in (OpType.AMO_LOAD, OpType.AMO_STORE)
+
+    @property
+    def block(self) -> int:
+        return self.addr >> BLOCK_SHIFT
+
+
+def read(addr: int) -> MemOp:
+    """Plain load from ``addr``."""
+    return MemOp(OpType.READ, addr)
+
+
+def write(addr: int, value: int = 0) -> MemOp:
+    """Plain store of ``value`` to ``addr``."""
+    return MemOp(OpType.WRITE, addr, value=value)
+
+
+def think(cycles: int, instructions: Optional[int] = None) -> MemOp:
+    """Non-memory work: ``cycles`` of compute, ``instructions`` committed.
+
+    When ``instructions`` is omitted we assume one instruction per cycle,
+    which approximates a core sustaining its issue width on compute code.
+    """
+    if instructions is None:
+        instructions = max(1, cycles)
+    return MemOp(OpType.THINK, cycles=cycles, instructions=instructions)
+
+
+def ldadd(addr: int, value: int) -> MemOp:
+    """Atomic fetch-and-add returning the old value."""
+    return MemOp(OpType.AMO_LOAD, addr, value=value, amo=AmoKind.ADD)
+
+
+def stadd(addr: int, value: int) -> MemOp:
+    """Atomic add with no return value (atomic-no-return)."""
+    return MemOp(OpType.AMO_STORE, addr, value=value, amo=AmoKind.ADD)
+
+
+def ldmin(addr: int, value: int) -> MemOp:
+    """Atomic fetch-and-min returning the old value."""
+    return MemOp(OpType.AMO_LOAD, addr, value=value, amo=AmoKind.MIN)
+
+
+def stmin(addr: int, value: int) -> MemOp:
+    """Atomic min with no return value."""
+    return MemOp(OpType.AMO_STORE, addr, value=value, amo=AmoKind.MIN)
+
+
+def ldmax(addr: int, value: int) -> MemOp:
+    """Atomic fetch-and-max returning the old value."""
+    return MemOp(OpType.AMO_LOAD, addr, value=value, amo=AmoKind.MAX)
+
+
+def swap(addr: int, value: int) -> MemOp:
+    """Atomic swap returning the old value."""
+    return MemOp(OpType.AMO_LOAD, addr, value=value, amo=AmoKind.SWAP)
+
+
+def stswp(addr: int, value: int) -> MemOp:
+    """Atomic swap with no return value (atomic-no-return).
+
+    The paper's Section III-B1 recommendation: when the old value is not
+    needed — e.g. a lock release — a store-type swap commits early and
+    keeps far execution off the critical path.
+    """
+    return MemOp(OpType.AMO_STORE, addr, value=value, amo=AmoKind.SWAP)
+
+
+def cas(addr: int, expected: int, new: int) -> MemOp:
+    """Atomic compare-and-swap; returns the old value.
+
+    The CAS succeeded iff the returned old value equals ``expected``.
+    """
+    return MemOp(OpType.AMO_LOAD, addr, value=new, amo=AmoKind.CAS, expected=expected)
+
+
+def apply_amo(kind: AmoKind, old: int, operand: int, expected: int = 0) -> int:
+    """Compute the new memory value an AMO produces.
+
+    Returns the value stored back to memory.  For ``CAS`` the store only
+    happens when ``old == expected``.
+    """
+    if kind is AmoKind.ADD:
+        return old + operand
+    if kind is AmoKind.AND:
+        return old & operand
+    if kind is AmoKind.OR:
+        return old | operand
+    if kind is AmoKind.XOR:
+        return old ^ operand
+    if kind is AmoKind.MIN:
+        return min(old, operand)
+    if kind is AmoKind.MAX:
+        return max(old, operand)
+    if kind is AmoKind.SWAP:
+        return operand
+    if kind is AmoKind.CAS:
+        return operand if old == expected else old
+    raise ValueError(f"unknown AMO kind: {kind!r}")

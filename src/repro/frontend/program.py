@@ -1,0 +1,60 @@
+"""Programs: the instruction streams cores execute.
+
+A program is a Python generator that yields :class:`~repro.frontend.isa.MemOp`
+values and receives each operation's result back via ``send``.  Because
+results flow back into the generator, programs can branch on memory
+contents — a spinlock really spins until the release it is waiting for is
+simulated, so contention behaviour *emerges* from timing instead of being
+scripted into a static trace.  This is what lets the same workload behave
+differently under different AMO placement policies, the effect the paper
+measures.
+
+Example::
+
+    def counter_loop(counter_addr, iterations):
+        def body(core_id):
+            for _ in range(iterations):
+                yield isa.think(100)
+                yield isa.stadd(counter_addr, 1)
+        return GeneratorProgram(body)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Generator, Optional
+
+from repro.frontend.isa import MemOp
+
+#: The generator type a program body must produce.
+OpStream = Generator[MemOp, Optional[int], None]
+
+
+class Program(ABC):
+    """One core's instruction stream."""
+
+    @abstractmethod
+    def run(self, core_id: int) -> OpStream:
+        """Create the operation generator for ``core_id``.
+
+        The engine primes the generator with ``send(None)`` and then sends
+        each operation's result (loaded value / AMO old value, or None).
+        """
+
+
+class GeneratorProgram(Program):
+    """Adapts a generator function ``fn(core_id) -> OpStream``."""
+
+    def __init__(self, fn: Callable[[int], OpStream]) -> None:
+        self._fn = fn
+
+    def run(self, core_id: int) -> OpStream:
+        return self._fn(core_id)
+
+
+class EmptyProgram(Program):
+    """A core that executes nothing (idle cores in partial-occupancy runs)."""
+
+    def run(self, core_id: int) -> OpStream:
+        return
+        yield  # pragma: no cover - makes run() a generator function

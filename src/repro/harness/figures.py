@@ -1,0 +1,365 @@
+"""Figure drivers: regenerate every figure of the paper's evaluation.
+
+Each ``figureN`` function runs the simulations that figure needs (through
+the caching :class:`~repro.harness.runner.Runner`) and returns a
+structured result object with the same series/rows the paper plots, plus
+a ``render()`` that prints them.  The benchmark suite calls these drivers
+and asserts the paper's qualitative shapes on the returned data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.registry import STATIC_POLICY_NAMES
+from repro.energy.model import energy_breakdown
+from repro.harness.report import (apki_classes, format_series, format_table,
+                                  set_geomeans)
+from repro.harness.runner import Runner, speedups_vs_baseline
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.engine import run as engine_run
+from repro.sim.machine import Machine
+from repro.workloads import TABLE_III_CODES
+from repro.workloads.microbench import SharedCounter
+
+BASELINE = "all-near"
+DYNAMO_POLICIES = ["dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn"]
+
+#: Thread counts of the Fig. 1 sweep.
+FIG1_THREADS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class FigureData:
+    """Common result container: named series over a shared x-axis."""
+
+    name: str
+    xlabel: str
+    xs: List
+    series: Dict[str, List[float]]
+    notes: str = ""
+
+    def render(self) -> str:
+        lines = [f"=== {self.name} ==="]
+        if self.notes:
+            lines.append(self.notes)
+        for label, ys in self.series.items():
+            lines.append(format_series(label, self.xs, ys))
+        return "\n".join(lines)
+
+
+@dataclass
+class SpeedupGrid:
+    """Per-workload speed-up bars plus the paper's geomean columns."""
+
+    name: str
+    policies: List[str]
+    speedups: Dict[str, Dict[str, float]]  # workload -> policy -> speed-up
+    classes: Dict[str, str]
+    geomeans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def compute_geomeans(self) -> None:
+        for policy in self.policies:
+            per_wl = {wl: self.speedups[wl][policy] for wl in self.speedups}
+            self.geomeans[policy] = set_geomeans(per_wl, self.classes)
+
+    def render(self) -> str:
+        headers = ["workload", "class"] + list(self.policies)
+        rows = []
+        for wl in self.speedups:
+            rows.append([wl, self.classes.get(wl, "?")]
+                        + [self.speedups[wl][p] for p in self.policies])
+        for agg in ("LMH", "MH", "H"):
+            rows.append([f"geomean-{agg}", agg]
+                        + [self.geomeans[p][agg] for p in self.policies])
+        out = format_table(headers, rows, title=f"=== {self.name} ===")
+        if self.notes:
+            out += "\n" + self.notes
+        return out
+
+
+def _counter_run(config: SystemConfig, threads: int, policy: str,
+                 use_store: bool) -> float:
+    """One Fig. 1 cell: shared-counter update throughput (per kilocycle)."""
+    wl = SharedCounter(threads, use_store=use_store)
+    machine = Machine(config, policy)
+    result = engine_run(machine, wl.programs())
+    return result.throughput_per_kilocycle(wl.total_updates)
+
+
+def figure1(config: SystemConfig = DEFAULT_CONFIG,
+            threads: Sequence[int] = FIG1_THREADS) -> FigureData:
+    """Fig. 1: near vs far AMO throughput on one shared counter.
+
+    Three mechanisms: Atomic-Near (stadd, All Near), AtomicLoad-Far
+    (ldadd, Unique Near) and AtomicStore-Far (stadd, Unique Near).
+    """
+    threads = [t for t in threads if t <= config.num_cores]
+    series = {
+        # Near execution costs the same for load- and store-type AMOs (an
+        # L1 hit either way); the store-type loop is used so the near and
+        # far-store series differ only in placement.
+        "Atomic-Near": [
+            _counter_run(config, t, "all-near", use_store=True)
+            for t in threads],
+        "AtomicLoad-Far": [
+            _counter_run(config, t, "unique-near", use_store=False)
+            for t in threads],
+        "AtomicStore-Far": [
+            _counter_run(config, t, "unique-near", use_store=True)
+            for t in threads],
+    }
+    return FigureData(
+        name="Figure 1: shared-counter AMO throughput",
+        xlabel="threads", xs=list(threads), series=series,
+        notes="updates per kilocycle; higher is better")
+
+
+def figure6(runner: Optional[Runner] = None,
+            workloads: Sequence[str] = tuple(TABLE_III_CODES)) -> FigureData:
+    """Fig. 6: committed AMOs per kilo-instruction per workload, split
+    into AtomicLoad and AtomicStore, under the All Near baseline."""
+    runner = runner or Runner()
+    loads, stores = [], []
+    for code in workloads:
+        res = runner.run(code, BASELINE)
+        total = res.stats.amo_loads + res.stats.amo_stores
+        if total:
+            load_frac = res.stats.amo_loads / total
+        else:
+            load_frac = 0.0
+        loads.append(res.apki * load_frac)
+        stores.append(res.apki * (1.0 - load_frac))
+    return FigureData(
+        name="Figure 6: AMOs per kilo-instruction (APKI)",
+        xlabel="workload", xs=list(workloads),
+        series={"AtomicLoad": loads, "AtomicStore": stores},
+        notes="stacked: AtomicLoad + AtomicStore = total APKI; "
+              "sets: L < 2, M < 8, H >= 8")
+
+
+def _speedup_grid(name: str, policies: List[str],
+                  runner: Optional[Runner],
+                  workloads: Sequence[str],
+                  notes: str = "") -> SpeedupGrid:
+    runner = runner or Runner()
+    grid = runner.sweep(workloads, [BASELINE] + policies)
+    speedups = speedups_vs_baseline(grid, BASELINE)
+    classes = apki_classes({wl: grid[wl][BASELINE] for wl in workloads})
+    for wl in speedups:
+        speedups[wl].pop(BASELINE, None)
+    data = SpeedupGrid(name=name, policies=policies, speedups=speedups,
+                       classes=classes, notes=notes)
+    data.compute_geomeans()
+    return data
+
+
+def figure7(runner: Optional[Runner] = None,
+            workloads: Sequence[str] = tuple(TABLE_III_CODES)) -> SpeedupGrid:
+    """Fig. 7: static-policy speed-ups over All Near + Best Static bar."""
+    policies = [p for p in STATIC_POLICY_NAMES if p != BASELINE]
+    data = _speedup_grid("Figure 7: static AMO policies (vs All Near)",
+                         policies, runner, workloads,
+                         notes="best-static = per-workload max over the "
+                               "static policies")
+    for wl in data.speedups:
+        data.speedups[wl]["best-static"] = max(data.speedups[wl].values())
+    data.policies = policies + ["best-static"]
+    data.compute_geomeans()
+    return data
+
+
+def figure8(runner: Optional[Runner] = None,
+            workloads: Sequence[str] = tuple(TABLE_III_CODES)) -> SpeedupGrid:
+    """Fig. 8: DynAMO predictor speed-ups over All Near + Best Static."""
+    static = [p for p in STATIC_POLICY_NAMES if p != BASELINE]
+    data = _speedup_grid("Figure 8: DynAMO predictors (vs All Near)",
+                         static + DYNAMO_POLICIES, runner, workloads)
+    for wl in data.speedups:
+        best = max(data.speedups[wl][p] for p in static)
+        for p in static:
+            del data.speedups[wl][p]
+        data.speedups[wl]["best-static"] = best
+    data.policies = DYNAMO_POLICIES + ["best-static"]
+    data.compute_geomeans()
+    return data
+
+
+#: The Fig. 9 input-sensitivity matrix: workload -> inputs to compare.
+FIG9_INPUTS = {"SPMV": ("JP", "rma10"), "HIST": ("IMG", "BMP24")}
+
+
+def figure9(runner: Optional[Runner] = None) -> FigureData:
+    """Fig. 9: input sensitivity of SPMV and HIST.
+
+    Unique Near wins on the streaming inputs (JP / uniform image) and
+    loses on the locality inputs (rma10 / skewed image), while
+    DynAMO-Reuse-PN adapts to both.
+    """
+    runner = runner or Runner()
+    xs, un, dyn = [], [], []
+    for wl, inputs in FIG9_INPUTS.items():
+        for inp in inputs:
+            base = runner.run(wl, BASELINE, input_name=inp)
+            xs.append(f"{wl}/{inp}")
+            un.append(runner.run(wl, "unique-near",
+                                 input_name=inp).speedup_over(base))
+            dyn.append(runner.run(wl, "dynamo-reuse-pn",
+                                  input_name=inp).speedup_over(base))
+    return FigureData(
+        name="Figure 9: input sensitivity (vs All Near)",
+        xlabel="workload/input", xs=xs,
+        series={"unique-near": un, "dynamo-reuse-pn": dyn})
+
+
+#: AMT sizing sweep points (paper Fig. 10).
+FIG10_ENTRIES = (32, 64, 128, 256, 512)
+FIG10_WAYS = (1, 2, 4, 8)
+FIG10_COUNTERS = (8, 16, 32, 64, 128)
+
+#: Workloads used for the sizing sweep: the AMO-intensive set is where
+#: sizing matters (paper: performance degrades for H when the AMT grows).
+FIG10_WORKLOADS = ("GME", "KCOR", "SPT", "HIST", "RSOR", "SPMV")
+
+
+def figure10(runner: Optional[Runner] = None,
+             workloads: Sequence[str] = FIG10_WORKLOADS) -> FigureData:
+    """Fig. 10: DynAMO-Reuse-PN sensitivity to AMT sizing.
+
+    Three sweeps around the best configuration (128 entries, 4 ways,
+    counter max 32): entry count, associativity, counter size.  Values
+    are geomeans of speed-up over All Near across ``workloads``.
+    """
+    from repro.harness.report import geomean
+
+    base_runner = runner or Runner()
+    cfg = base_runner.config
+
+    def geo_speedup(config: SystemConfig) -> float:
+        sweep_runner = Runner(config=config,
+                              cache_dir=base_runner.cache_dir,
+                              use_cache=base_runner.use_cache)
+        vals = []
+        for wl in workloads:
+            base = sweep_runner.run(wl, BASELINE)
+            dyn = sweep_runner.run(wl, "dynamo-reuse-pn")
+            vals.append(dyn.speedup_over(base))
+        return geomean(vals)
+
+    xs: List[str] = []
+    ys: List[float] = []
+    for entries in FIG10_ENTRIES:
+        xs.append(f"entries={entries}")
+        ys.append(geo_speedup(cfg.replace(amt_entries=entries)))
+    for ways in FIG10_WAYS:
+        xs.append(f"ways={ways}")
+        ys.append(geo_speedup(cfg.replace(amt_ways=ways)))
+    for counter in FIG10_COUNTERS:
+        xs.append(f"counter={counter}")
+        ys.append(geo_speedup(cfg.replace(amt_counter_max=counter)))
+    return FigureData(
+        name="Figure 10: AMT sizing (DynAMO-Reuse-PN vs All Near)",
+        xlabel="configuration", xs=xs,
+        series={"geomean-speedup": ys},
+        notes=f"geomean over AMO-intensive workloads {list(workloads)}; "
+              "defaults elsewhere: 128 entries / 4 ways / counter 32")
+
+
+#: System variants of the Fig. 11 design-space exploration.
+def fig11_systems(cfg: SystemConfig) -> Dict[str, SystemConfig]:
+    return {
+        "original": cfg,
+        "NoC-1c": cfg.replace(router_latency=0, link_latency=1),
+        "NoC-3c": cfg.replace(router_latency=2, link_latency=1),
+        "Half-Lat": cfg.replace(mem_latency=cfg.mem_latency // 2),
+        "Double-Lat": cfg.replace(mem_latency=cfg.mem_latency * 2),
+    }
+
+
+#: Representative workloads per APKI set for the (expensive) Fig. 11 sweep.
+FIG11_WORKLOADS = ("RAY", "WAT", "VOL", "FLU", "HIST", "SPMV", "RSOR", "GME")
+
+
+def figure11(runner: Optional[Runner] = None,
+             workloads: Sequence[str] = FIG11_WORKLOADS) -> FigureData:
+    """Fig. 11: DynAMO-Reuse-PN on different systems.
+
+    NoC hop cost 1/2/3 cycles and halved/doubled memory latency; the
+    paper finds gains grow with hop cost and are insensitive to memory
+    latency.  Values are per-APKI-set geomeans of speed-up over All Near.
+    """
+    base_runner = runner or Runner()
+    systems = fig11_systems(base_runner.config)
+    sets: Dict[str, List[float]] = {"L": [], "M": [], "H": []}
+    xs = list(systems)
+    for name, config in systems.items():
+        sweep_runner = Runner(config=config,
+                              cache_dir=base_runner.cache_dir,
+                              use_cache=base_runner.use_cache)
+        grid = sweep_runner.sweep(workloads, [BASELINE, "dynamo-reuse-pn"])
+        speedups = {wl: grid[wl]["dynamo-reuse-pn"].speedup_over(
+            grid[wl][BASELINE]) for wl in workloads}
+        classes = apki_classes({wl: grid[wl][BASELINE] for wl in workloads})
+        gm = set_geomeans(speedups, classes)
+        sets["L"].append(gm["LMH"])
+        sets["M"].append(gm["MH"])
+        sets["H"].append(gm["H"])
+    return FigureData(
+        name="Figure 11: system design-space exploration "
+             "(DynAMO-Reuse-PN vs All Near)",
+        xlabel="system", xs=xs,
+        series={"geomean-LMH": sets["L"], "geomean-MH": sets["M"],
+                "geomean-H": sets["H"]},
+        notes=f"representative workloads: {list(workloads)}")
+
+
+def energy_study(runner: Optional[Runner] = None,
+                 workloads: Sequence[str] = tuple(TABLE_III_CODES)) -> FigureData:
+    """Section VI-E: dynamic energy of All Near / Unique Near / Reuse-PN.
+
+    Reports per-APKI-set geometric-mean energy *ratios* (policy energy /
+    All Near energy; below 1.0 = savings), plus the NoC component alone.
+    """
+    from repro.harness.report import geomean
+
+    runner = runner or Runner()
+    policies = ["unique-near", "dynamo-reuse-pn"]
+    grid = runner.sweep(workloads, [BASELINE] + policies)
+    classes = apki_classes({wl: grid[wl][BASELINE] for wl in workloads})
+    xs = ["L", "M", "H"]
+    series: Dict[str, List[float]] = {}
+    for policy in policies:
+        total, noc = [], []
+        for which in xs:
+            members = [wl for wl in workloads if classes[wl] == which]
+            if not members:
+                total.append(float("nan"))
+                noc.append(float("nan"))
+                continue
+            total.append(geomean(
+                grid[wl][policy].total_energy
+                / grid[wl][BASELINE].total_energy for wl in members))
+            noc.append(geomean(
+                max(grid[wl][policy].energy["noc"], 1e-12)
+                / max(grid[wl][BASELINE].energy["noc"], 1e-12)
+                for wl in members))
+        series[f"{policy}/total"] = total
+        series[f"{policy}/noc"] = noc
+    return FigureData(
+        name="Section VI-E: dynamic energy relative to All Near",
+        xlabel="APKI set", xs=xs, series=series,
+        notes="ratios < 1.0 are energy savings")
+
+
+FIGURES = {
+    "1": figure1,
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10": figure10,
+    "11": figure11,
+    "energy": energy_study,
+}

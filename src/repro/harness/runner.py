@@ -1,0 +1,192 @@
+"""Experiment runner: execute (workload, policy, config) cells with caching.
+
+Every figure in the paper is a grid of simulations over workloads and
+policies.  The runner executes one cell, attaches energy accounting, and
+memoizes results on disk (keyed by every input that affects the outcome)
+so that e.g. the Fig. 8 benchmark reuses the All Near baselines that
+Fig. 7 already simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.energy.model import attach_energy
+from repro.noc.message import MsgType, TrafficMeter
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.engine import run as engine_run
+from repro.sim.machine import Machine
+from repro.sim.results import MachineStats, SimulationResult
+from repro.workloads.base import make_workload
+
+#: Bump to invalidate all cached results after a model change.
+CACHE_VERSION = 8
+
+#: Safety budget: no workload cell should ever need this many cycles.
+MAX_CYCLES = 2_000_000_000
+
+
+def default_cache_dir() -> str:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in cwd."""
+    return os.environ.get("REPRO_CACHE_DIR",
+                          os.path.join(os.getcwd(), ".repro_cache"))
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Everything that identifies one simulation cell."""
+
+    workload: str
+    policy: str
+    threads: int
+    scale: float = 1.0
+    seed: int = 0
+    input_name: Optional[str] = None
+    config_overrides: tuple = ()  # sorted (key, value) pairs
+
+    def with_config(self, config: SystemConfig,
+                    base: SystemConfig = DEFAULT_CONFIG) -> "RunSpec":
+        """Record how ``config`` differs from ``base`` (for cache keys)."""
+        overrides = []
+        for field in dataclasses.fields(SystemConfig):
+            val = getattr(config, field.name)
+            if val != getattr(base, field.name):
+                overrides.append((field.name, val))
+        return dataclasses.replace(self, config_overrides=tuple(overrides))
+
+    def cache_key(self) -> str:
+        payload = json.dumps(
+            [CACHE_VERSION, self.workload, self.policy, self.threads,
+             self.scale, self.seed, self.input_name,
+             list(self.config_overrides)],
+            sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class Runner:
+    """Executes simulation cells with an optional on-disk result cache."""
+
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
+                 cache_dir: Optional[str] = None,
+                 use_cache: bool = True) -> None:
+        self.config = config
+        self.use_cache = use_cache and os.environ.get("REPRO_NO_CACHE") != "1"
+        self.cache_dir = cache_dir or default_cache_dir()
+        if self.use_cache:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    # --- cache serialization -----------------------------------------
+
+    @staticmethod
+    def _serialize(result: SimulationResult) -> Dict:
+        return {
+            "policy": result.policy,
+            "cycles": result.cycles,
+            "per_core_finish": result.per_core_finish,
+            "instructions": result.instructions,
+            "amos_committed": result.amos_committed,
+            "stats": result.stats.as_dict(),
+            "messages": result.traffic.by_type(),
+            "flits": result.traffic.flits,
+            "flit_hops": result.traffic.flit_hops,
+            "near_decisions": result.near_decisions,
+            "far_decisions": result.far_decisions,
+            "energy": result.energy,
+            "metadata": result.metadata,
+        }
+
+    @staticmethod
+    def _deserialize(data: Dict) -> SimulationResult:
+        stats = MachineStats()
+        for key, value in data["stats"].items():
+            setattr(stats, key, value)
+        traffic = TrafficMeter()
+        for name, count in data["messages"].items():
+            traffic.messages[MsgType[name]] = count
+        traffic.flits = data["flits"]
+        traffic.flit_hops = data["flit_hops"]
+        return SimulationResult(
+            policy=data["policy"],
+            cycles=data["cycles"],
+            per_core_finish=data["per_core_finish"],
+            instructions=data["instructions"],
+            amos_committed=data["amos_committed"],
+            stats=stats,
+            traffic=traffic,
+            near_decisions=data["near_decisions"],
+            far_decisions=data["far_decisions"],
+            energy=data["energy"],
+            metadata=data.get("metadata", {}),
+        )
+
+    # --- execution ----------------------------------------------------
+
+    def run(self, workload: str, policy: str,
+            threads: Optional[int] = None, scale: float = 1.0,
+            seed: int = 0, input_name: Optional[str] = None,
+            config: Optional[SystemConfig] = None) -> SimulationResult:
+        """Run one cell (or return its cached result)."""
+        cfg = config or self.config
+        threads = threads if threads is not None else cfg.num_cores
+        if threads > cfg.num_cores:
+            raise ValueError(
+                f"{threads} threads > {cfg.num_cores} cores in config")
+        spec = RunSpec(workload, policy, threads, scale, seed,
+                       input_name).with_config(cfg)
+        path = os.path.join(self.cache_dir, spec.cache_key() + ".json")
+        if self.use_cache and os.path.exists(path):
+            with open(path) as fh:
+                return self._deserialize(json.load(fh))
+
+        wl = make_workload(workload, threads, scale=scale, seed=seed,
+                           input_name=input_name)
+        machine = Machine(cfg, policy)
+        for addr, value in wl.initial_values().items():
+            machine.poke_value(addr, value)
+        result = engine_run(machine, wl.programs(), max_cycles=MAX_CYCLES)
+        attach_energy(result, num_cores=threads)
+        result.metadata = {
+            "workload": workload,
+            "input": wl.input_name,
+            "threads": threads,
+            "scale": scale,
+            "amo_footprint_bytes": wl.amo_footprint_bytes,
+        }
+        if self.use_cache:
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(self._serialize(result), fh)
+            os.replace(tmp, path)
+        return result
+
+    def sweep(self, workloads: Iterable[str], policies: Iterable[str],
+              **kwargs) -> Dict[str, Dict[str, SimulationResult]]:
+        """Run a workload x policy grid; returns results[workload][policy]."""
+        grid: Dict[str, Dict[str, SimulationResult]] = {}
+        for wl in workloads:
+            grid[wl] = {}
+            for pol in policies:
+                grid[wl][pol] = self.run(wl, pol, **kwargs)
+        return grid
+
+
+def speedups_vs_baseline(grid: Dict[str, Dict[str, SimulationResult]],
+                         baseline: str = "all-near") -> Dict[str, Dict[str, float]]:
+    """Per-workload speed-ups of each policy over ``baseline``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for wl, by_policy in grid.items():
+        base = by_policy[baseline]
+        out[wl] = {pol: res.speedup_over(base) if pol != baseline else 1.0
+                   for pol, res in by_policy.items()}
+    return out
+
+
+def best_static_speedups(static_speedups: Dict[str, Dict[str, float]]
+                         ) -> Dict[str, float]:
+    """Per-workload best static speed-up (the paper's Best Static bar)."""
+    return {wl: max(by_policy.values())
+            for wl, by_policy in static_speedups.items()}

@@ -1,0 +1,95 @@
+"""Table reporters: regenerate the paper's Tables I-IV.
+
+Tables I, II and IV are definitional (they describe the design space, the
+simulated system and the qualitative related-work comparison); Table III
+is measured — the workload registry is asked for each benchmark's
+primitives and the harness measures the AMO footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.static_policies import table_i_rows
+from repro.harness.report import format_table
+from repro.sim.config import DEFAULT_CONFIG, PAPER_CONFIG, SystemConfig
+from repro.workloads import TABLE_III_CODES, WORKLOADS
+from repro.workloads.base import make_workload
+
+
+def table1() -> str:
+    """Table I: static AMO policies by L1D cache-block state."""
+    headers = ["Policy", "Origin", "UC", "UD", "SC", "SD", "I"]
+    rows = []
+    for name, origin, decisions in table_i_rows():
+        rows.append([name, origin, decisions["UC"], decisions["UD"],
+                     decisions["SC"], decisions["SD"], decisions["I"]])
+    return format_table(headers, rows,
+                        title="=== Table I: static AMO policies ===")
+
+
+def table2(config: SystemConfig = PAPER_CONFIG) -> str:
+    """Table II: simulated system configuration."""
+    rows = [[key, value] for key, value in config.describe().items()]
+    return format_table(["Parameter", "Value"], rows,
+                        title="=== Table II: system configuration ===")
+
+
+def table3(threads: int = DEFAULT_CONFIG.num_cores, scale: float = 1.0,
+           workloads: Sequence[str] = tuple(TABLE_III_CODES)) -> str:
+    """Table III: benchmark inputs, primitives and AMO footprints.
+
+    The footprint column is measured from the workload's address layout
+    at the given scale (the paper's column is for full-size inputs).
+    """
+    headers = ["Name", "Code", "Suite", "Input", "Sync. primitives",
+               "AMO footprint"]
+    rows = []
+    for code in workloads:
+        wl = make_workload(code, threads, scale=scale)
+        spec = wl.spec
+        footprint = wl.amo_footprint_bytes
+        if footprint >= 1024 * 1024:
+            fp = f"{footprint / (1024 * 1024):.1f} MB"
+        else:
+            fp = f"{footprint // 1024} KB"
+        rows.append([spec.name, spec.code, spec.suite, wl.input_name,
+                     spec.primitives, fp])
+    return format_table(headers, rows,
+                        title="=== Table III: benchmarks (at simulation "
+                              f"scale {scale}) ===")
+
+
+#: Table IV rows: (solution, transparent, performance, cost-friendly).
+TABLE_IV_ROWS = (
+    ("Far AMO (static)", True, False, True),
+    ("Custom instructions", False, True, True),
+    ("Accelerators", True, True, False),
+    ("Custom networks", True, True, False),
+    ("Parallel reductions", False, True, False),
+    ("Core-to-core", False, True, True),
+    ("DynAMO", True, True, True),
+)
+
+
+def table4() -> str:
+    """Table IV: qualitative comparison of synchronization alternatives."""
+    headers = ["Solution", "Transparent", "Performance", "Low cost"]
+    mark = {True: "yes", False: "no"}
+    rows = [[name, mark[t], mark[p], mark[c]]
+            for name, t, p, c in TABLE_IV_ROWS]
+    return format_table(headers, rows,
+                        title="=== Table IV: synchronization alternatives ===")
+
+
+TABLES = {"1": table1, "2": table2, "3": table3, "4": table4}
+
+
+def render_table(which: str, **kwargs) -> str:
+    """Render table ``which`` ("1".."4")."""
+    try:
+        fn = TABLES[which]
+    except KeyError:
+        raise KeyError(f"unknown table {which!r}; expected one of "
+                       f"{sorted(TABLES)}") from None
+    return fn(**kwargs)

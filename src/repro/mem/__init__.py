@@ -1,0 +1,6 @@
+"""Main memory: address interleaving and the HBM channel model."""
+
+from repro.mem.address import AddressMap
+from repro.mem.hbm import HbmChannel, HbmMemory
+
+__all__ = ["AddressMap", "HbmChannel", "HbmMemory"]

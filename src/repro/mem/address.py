@@ -1,0 +1,34 @@
+"""Physical-address interleaving across LLC slices and memory channels.
+
+Blocks are striped block-by-block across home-node slices (the usual CMN
+"system address map" hash simplified to a modulo) and across HBM channels.
+Striping at block granularity spreads both the contended synchronization
+variables and streaming data evenly, which is what lets far AMOs on
+different lines proceed in parallel at different home nodes.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.isa import BLOCK_SHIFT
+
+
+class AddressMap:
+    """Maps byte addresses / block numbers to HN slices and HBM channels."""
+
+    def __init__(self, num_slices: int, num_channels: int) -> None:
+        if num_slices <= 0 or num_channels <= 0:
+            raise ValueError("need at least one slice and one channel")
+        self.num_slices = num_slices
+        self.num_channels = num_channels
+
+    def slice_of_block(self, block: int) -> int:
+        """Home-node slice owning ``block``."""
+        return block % self.num_slices
+
+    def slice_of_addr(self, addr: int) -> int:
+        """Home-node slice owning the block containing ``addr``."""
+        return (addr >> BLOCK_SHIFT) % self.num_slices
+
+    def channel_of_block(self, block: int) -> int:
+        """HBM channel serving ``block``."""
+        return (block // self.num_slices) % self.num_channels

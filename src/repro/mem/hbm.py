@@ -1,0 +1,51 @@
+"""HBM-style main-memory model: fixed access latency + channel bandwidth.
+
+The simulated system (Table II) has 8 HBM3 channels at 64 GB/s each.  For
+the questions this reproduction answers, main memory only matters as (i) a
+large constant added to cold misses and LLC misses and (ii) a bandwidth
+ceiling for streaming workloads.  The paper's own sensitivity study
+(Fig. 11, Half-Lat / Double-Lat) shows DynAMO is insensitive to the exact
+latency, so a queueing model per channel is sufficient.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class HbmChannel:
+    """One HBM channel: constant latency plus occupancy-based queueing."""
+
+    def __init__(self, access_latency: int, service_cycles: int) -> None:
+        self.access_latency = access_latency
+        self.service_cycles = service_cycles
+        self.busy_until = 0
+        self.accesses = 0
+
+    def access(self, arrival: int) -> int:
+        """Issue a block transfer arriving at ``arrival``; return done time."""
+        start = arrival if arrival > self.busy_until else self.busy_until
+        self.busy_until = start + self.service_cycles
+        self.accesses += 1
+        return start + self.access_latency
+
+
+class HbmMemory:
+    """A set of independent HBM channels."""
+
+    def __init__(self, num_channels: int, access_latency: int,
+                 service_cycles: int) -> None:
+        if num_channels <= 0:
+            raise ValueError("need at least one channel")
+        self.channels: List[HbmChannel] = [
+            HbmChannel(access_latency, service_cycles)
+            for _ in range(num_channels)
+        ]
+
+    def access(self, channel: int, arrival: int) -> int:
+        """Access ``channel`` at ``arrival``; return completion time."""
+        return self.channels[channel].access(arrival)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(ch.accesses for ch in self.channels)

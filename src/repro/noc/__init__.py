@@ -1,0 +1,7 @@
+"""Network-on-chip: 2D mesh latency model and message/traffic accounting."""
+
+from repro.noc.mesh import Mesh, mesh_dims
+from repro.noc.message import CTRL_FLITS, DATA_FLITS, MsgType, TrafficMeter
+
+__all__ = ["Mesh", "mesh_dims", "CTRL_FLITS", "DATA_FLITS", "MsgType",
+           "TrafficMeter"]

@@ -1,0 +1,75 @@
+"""Message taxonomy and traffic accounting for the NoC.
+
+The energy study (paper Section VI-E) attributes NoC dynamic energy to the
+number and size of messages sent.  We therefore classify every protocol
+message the transaction flows of Fig. 2 generate, with a flit count per
+class (control messages are single-flit; data-carrying messages add the
+64-byte payload).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from typing import Dict
+
+#: Flits per 64B cache-block payload on a 16B-flit network, plus header.
+DATA_FLITS = 5
+#: Flits per control / dataless message.
+CTRL_FLITS = 1
+
+
+class MsgType(enum.Enum):
+    """Protocol message classes (name -> carries data?)."""
+
+    READ_REQ = ("ReadShared/ReadUnique request", False)
+    ATOMIC_REQ = ("AtomicLoad/AtomicStore request", True)  # carries operand
+    SNOOP = ("Snoop request", False)
+    SNOOP_RESP = ("Snoop response (dataless)", False)
+    SNOOP_DATA = ("Snoop response with data", True)
+    COMP_DATA = ("CompData (block to requestor)", True)
+    COMP_ACK = ("Comp / CompAck (dataless)", False)
+    AMO_DATA = ("AtomicLoad old-value return", False)  # 8B, single flit
+    WRITEBACK = ("WriteBack / CopyBack data", True)
+    EVICT_NOTIFY = ("Clean evict notification", False)
+    MEM_READ = ("Memory read command", False)
+    MEM_DATA = ("Memory data return", True)
+    MEM_WRITE = ("Memory write (block)", True)
+
+    def __init__(self, description: str, carries_data: bool) -> None:
+        self.description = description
+        self.carries_data = carries_data
+
+    @property
+    def flits(self) -> int:
+        return DATA_FLITS if self.carries_data else CTRL_FLITS
+
+
+class TrafficMeter:
+    """Counts messages, flits and hop-flits crossing the NoC."""
+
+    def __init__(self) -> None:
+        self.messages: Counter = Counter()
+        self.flit_hops = 0
+        self.flits = 0
+
+    def record(self, msg: MsgType, hops: int, count: int = 1) -> None:
+        """Record ``count`` messages of class ``msg`` travelling ``hops``."""
+        self.messages[msg] += count
+        flits = msg.flits * count
+        self.flits += flits
+        self.flit_hops += flits * hops
+
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def by_type(self) -> Dict[str, int]:
+        """Message counts keyed by enum name (stable for reports/tests)."""
+        return {msg.name: n for msg, n in sorted(
+            self.messages.items(), key=lambda kv: kv[0].name)}
+
+    def merge(self, other: "TrafficMeter") -> None:
+        """Accumulate ``other`` into this meter."""
+        self.messages.update(other.messages)
+        self.flit_hops += other.flit_hops
+        self.flits += other.flits

@@ -1,0 +1,12 @@
+"""Simulation kernel: configuration, machine model, engine, results."""
+
+from repro.sim.config import (DEFAULT_CONFIG, PAPER_CONFIG, TINY_CONFIG,
+                              SystemConfig)
+from repro.sim.engine import SimulationTimeout, run
+from repro.sim.machine import Machine
+from repro.sim.results import MachineStats, SimulationResult
+
+__all__ = [
+    "DEFAULT_CONFIG", "PAPER_CONFIG", "TINY_CONFIG", "SystemConfig",
+    "SimulationTimeout", "run", "Machine", "MachineStats", "SimulationResult",
+]

@@ -1,0 +1,159 @@
+"""System configuration (paper Table II) and simulation presets.
+
+:class:`SystemConfig` carries every knob of the simulated machine.  The
+defaults reproduce the gem5 configuration of Table II: 32 out-of-order
+cores, 64 KiB 4-way L1D (2-cycle data array), 512 KiB private L2 (8-cycle),
+an exclusive 32 x 1 MiB 8-way LLC (10-cycle), an 8x8 mesh with 1-cycle
+routers and links, and 8-channel HBM.
+
+``scaled()`` produces proportionally smaller systems so the full
+figure-regeneration grid fits in a Python-simulator time budget; the
+latency parameters — which determine every near-vs-far trade-off — are kept
+at their Table II values, only core count and cache capacities shrink
+(workloads shrink their footprints with the same factor, keeping the
+footprint:capacity ratios of Table III).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.frontend.isa import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Parameters of the simulated multi-core (defaults = paper Table II)."""
+
+    # --- processor ---
+    num_cores: int = 32
+    commit_width: int = 8
+    store_buffer_entries: int = 58
+    #: cycles the commit stage is blocked per in-flight AtomicLoad beyond
+    #: what the memory system charges (pipeline refill after a stall).
+    commit_stall_overhead: int = 2
+
+    # --- private caches ---
+    l1_size: int = 64 * 1024
+    l1_ways: int = 4
+    l1_latency: int = 2
+    l2_size: int = 512 * 1024
+    l2_ways: int = 8
+    l2_latency: int = 8
+
+    # --- shared LLC / home nodes ---
+    llc_slices: int = 32
+    llc_slice_size: int = 1024 * 1024
+    llc_ways: int = 8
+    llc_latency: int = 10
+    #: directory tag/state lookup at the HN.
+    directory_latency: int = 2
+    #: cycles the HN controller is occupied per transaction (throughput).
+    hn_occupancy: int = 2
+    #: dedicated buffer holding recent AMO targets at each HN slice
+    #: (Section III-B2); hits bypass the slow LLC data array.
+    amo_buffer_entries: int = 8
+    amo_buffer_latency: int = 1
+    #: ALU cycles to perform the AMO arithmetic (near or far).
+    amo_alu_latency: int = 1
+    #: Route invalidation acks for CleanUnique/ReadUnique directly to the
+    #: requestor (classic DASH/Origin optimization) instead of collecting
+    #: them at the home node as AMBA CHI does.  Kept as an ablation knob.
+    direct_inval_acks: bool = False
+
+    # --- interconnect ---
+    router_latency: int = 1
+    link_latency: int = 1
+
+    # --- main memory ---
+    mem_channels: int = 8
+    mem_latency: int = 100
+    #: cycles one channel is occupied per 64B block (64 GB/s @ 2 GHz).
+    mem_service_cycles: int = 2
+
+    # --- DynAMO predictor sizing (Section VI-F best configuration) ---
+    amt_entries: int = 128
+    amt_ways: int = 4
+    amt_counter_max: int = 32
+
+    block_size: int = BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.llc_slices <= 0:
+            raise ValueError("llc_slices must be positive")
+        if self.amt_ways > self.amt_entries:
+            raise ValueError("AMT ways cannot exceed entries")
+
+    @property
+    def llc_size(self) -> int:
+        """Total LLC capacity across all slices."""
+        return self.llc_slices * self.llc_slice_size
+
+    def replace(self, **changes: Any) -> "SystemConfig":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def scaled(self, cores: int) -> "SystemConfig":
+        """Return a config shrunk to ``cores`` cores.
+
+        Cache capacity per core, associativities and all latencies are
+        preserved; the number of LLC slices and memory channels scales with
+        the core count (one slice per core, as in the reference system).
+        """
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        factor = cores / self.num_cores
+        channels = max(1, round(self.mem_channels * factor))
+        return self.replace(
+            num_cores=cores,
+            llc_slices=cores,
+            mem_channels=channels,
+        )
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable key/value view (used by the Table II reporter)."""
+        return {
+            "Core count": f"{self.num_cores} out-of-order cores",
+            "Commit width": f"{self.commit_width} insts/cycle",
+            "Store buffer": f"{self.store_buffer_entries} entries",
+            "Private L1D cache": (
+                f"{self.l1_size // 1024} KiB/core, {self.l1_ways}-way, "
+                f"{self.l1_latency} cycle data array access"),
+            "Private L2 cache": (
+                f"{self.l2_size // 1024} KiB/core, {self.l2_ways}-way, "
+                f"{self.l2_latency} cycle access lat."),
+            "DynAMO": f"{self.amt_entries} entries, {self.amt_ways}-way",
+            "Shared L3 cache": (
+                f"Exclusive, {self.llc_slices} slices of "
+                f"{self.llc_slice_size // (1024 * 1024)} MiB, "
+                f"{self.llc_ways} ways, {self.llc_latency} cycles access lat."),
+            "Coherence protocol": "MOESI-like AMBA 5 CHI specification",
+            "Network topology": "2D mesh (XY routing)",
+            "Router and link latency": (
+                f"{self.router_latency} cycle route, "
+                f"{self.link_latency} cycle link"),
+            "Main memory": (
+                f"HBM-style, {self.mem_channels} channels, "
+                f"{self.mem_latency} cycle access"),
+        }
+
+
+#: Table II system, used for headline runs.
+PAPER_CONFIG = SystemConfig()
+
+#: Default system for tests and fast figure regeneration: 16 cores with
+#: caches shrunk 4x (16 KiB L1D, 128 KiB L2, 256 KiB LLC slices) so that
+#: workloads can shrink their footprints by the same factor and keep the
+#: footprint:capacity ratios of Table III at tractable operation counts.
+#: All latencies stay at their Table II values — they set every
+#: near-vs-far trade-off and are not scaled.
+DEFAULT_CONFIG = PAPER_CONFIG.scaled(16).replace(
+    l1_size=16 * 1024, l2_size=128 * 1024, llc_slice_size=256 * 1024)
+
+#: Small system for unit tests.
+TINY_CONFIG = PAPER_CONFIG.scaled(4).replace(
+    l1_size=4 * 1024, l2_size=16 * 1024, llc_slice_size=64 * 1024)

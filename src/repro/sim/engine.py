@@ -1,0 +1,103 @@
+"""Simulation engine: runs per-core programs against a Machine.
+
+Each core executes a *program* — a generator yielding
+:class:`~repro.frontend.isa.MemOp` values and receiving each operation's
+result back through ``send`` (see :mod:`repro.frontend.program`).  The
+engine processes cores in global-time order from a min-heap keyed on each
+core's local clock, so inter-core interactions (lock hand-offs, directory
+serialization) happen in a causally consistent order.
+
+Value binding: AMOs apply their read-modify-write atomically when issued
+(their ordering *is* the simulation's linearization order), but plain
+read results are carried as :class:`~repro.sim.machine.DeferredRead` and
+resolved when the core wakes up at the read's completion time — by then
+every operation that completed earlier has been applied, so spin loops
+observe releases with realistic timing instead of racing on stale values.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.frontend.program import Program
+from repro.sim.machine import DeferredRead, Machine
+from repro.sim.results import SimulationResult
+
+
+class SimulationTimeout(RuntimeError):
+    """A program failed to finish within the cycle budget (likely a
+    livelock in the workload, e.g. a spin loop whose release never runs)."""
+
+
+def run(machine: Machine, programs: Iterable[Program],
+        max_cycles: Optional[int] = None) -> SimulationResult:
+    """Run ``programs`` (one per core, at most ``num_cores``) to completion.
+
+    Args:
+        machine: the system to execute on (created fresh per run).
+        programs: per-core instruction streams; cores beyond the list idle.
+        max_cycles: optional safety budget; exceeded -> SimulationTimeout.
+
+    Returns:
+        A :class:`SimulationResult` with timing, stats and traffic.
+    """
+    progs = list(programs)
+    if len(progs) > machine.config.num_cores:
+        raise ValueError(
+            f"{len(progs)} programs for {machine.config.num_cores} cores")
+
+    iterators = [prog.run(core) for core, prog in enumerate(progs)]
+    finish = [0] * len(progs)
+    instructions = [0] * len(progs)
+    amos = [0] * len(progs)
+    pending = [None] * len(progs)
+
+    heap = []
+    for core, it in enumerate(iterators):
+        try:
+            op = it.send(None)
+        except StopIteration:
+            continue
+        done, result = machine.execute(core, op, 0)
+        instructions[core] += op.instructions
+        if op.is_amo:
+            amos[core] += 1
+        pending[core] = result
+        heap.append((done, core))
+    heapq.heapify(heap)
+
+    while heap:
+        now, core = heapq.heappop(heap)
+        if max_cycles is not None and now > max_cycles:
+            raise SimulationTimeout(
+                f"core {core} passed {max_cycles} cycles; "
+                "workload appears livelocked")
+        result = pending[core]
+        if type(result) is DeferredRead:
+            result = machine.read_value(result.addr)
+        try:
+            op = iterators[core].send(result)
+        except StopIteration:
+            finish[core] = now
+            continue
+        done, next_result = machine.execute(core, op, now)
+        instructions[core] += op.instructions
+        if op.is_amo:
+            amos[core] += 1
+        pending[core] = next_result
+        heapq.heappush(heap, (done, core))
+
+    near = sum(ps.near_decisions for ps in machine.policy_stats)
+    far = sum(ps.far_decisions for ps in machine.policy_stats)
+    return SimulationResult(
+        policy=machine.policy_name,
+        cycles=max(finish) if finish else 0,
+        per_core_finish=finish,
+        instructions=sum(instructions),
+        amos_committed=sum(amos),
+        stats=machine.stats,
+        traffic=machine.traffic,
+        near_decisions=near,
+        far_decisions=far,
+    )

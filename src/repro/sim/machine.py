@@ -1,0 +1,679 @@
+"""The simulated multi-core machine: protocol + timing for every operation.
+
+This is the transaction-level model described in DESIGN.md.  Cores hand the
+machine one operation at a time (:meth:`Machine.execute`); the machine
+walks the CHI flow the operation triggers (Fig. 2 of the paper), updating
+coherence/directory state, per-line serialization times at the home nodes,
+message traffic, and the data values atomics operate on, and returns when
+the operation completes from the core's point of view.
+
+Commit semantics (paper Section III-B1):
+
+* ``READ`` and ``AMO_LOAD`` block the core until data returns;
+  ``AMO_LOAD`` additionally pays a pipeline-refill overhead.
+* ``WRITE`` and ``AMO_STORE`` retire through a finite store buffer: the
+  core sees a 1-cycle issue unless the buffer is full, in which case it
+  stalls until the oldest entry drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.coherence.directory import DirectoryState, HomeNode
+from repro.coherence.l1 import Departure, PrivateCacheHierarchy
+from repro.coherence.states import CacheState
+from repro.core.policy import Placement, PolicyStats
+from repro.core.registry import make_policy
+from repro.frontend.isa import (AmoKind, MemOp, OpType, apply_amo)
+from repro.mem.address import AddressMap
+from repro.mem.hbm import HbmMemory
+from repro.noc.mesh import Mesh
+from repro.noc.message import MsgType, TrafficMeter
+from repro.sim.config import SystemConfig
+from repro.sim.results import MachineStats
+
+
+class DeferredRead:
+    """A read result to be resolved at the read's *completion* time.
+
+    The machine computes a read's timing when the core issues it, but the
+    architectural value belongs to the moment the data arrives.  Binding
+    the value at issue would let every spinner in a spin loop observe a
+    freed lock during the window its read is in flight — a thundering
+    herd far beyond what real hardware produces.  The engine resolves the
+    value when it wakes the core at completion time, by which point every
+    operation that completed earlier has been applied.
+    """
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+
+class Machine:
+    """A multi-core system executing memory operations under one policy.
+
+    Args:
+        config: system parameters (Table II by default).
+        policy_name: AMO placement policy; one instance is created per
+            core from :mod:`repro.core.registry`.
+    """
+
+    def __init__(self, config: SystemConfig, policy_name: str = "all-near") -> None:
+        self.config = config
+        self.policy_name = policy_name
+        self.mesh = Mesh(config.num_cores, config.llc_slices,
+                         config.router_latency, config.link_latency)
+        self.addr_map = AddressMap(config.llc_slices, config.mem_channels)
+        self.memory = HbmMemory(config.mem_channels, config.mem_latency,
+                                config.mem_service_cycles)
+        self.privates = [PrivateCacheHierarchy(config)
+                         for _ in range(config.num_cores)]
+        self.home_nodes = [HomeNode(s, config)
+                           for s in range(config.llc_slices)]
+        self.directory = DirectoryState()
+        self.policies = [make_policy(policy_name, config)
+                         for _ in range(config.num_cores)]
+        self.policy_stats = [PolicyStats() for _ in range(config.num_cores)]
+        self.values: Dict[int, int] = {}
+        self.traffic = TrafficMeter()
+        self.stats = MachineStats()
+        # Store buffers: per-core deque of in-flight drain times plus the
+        # last drain time (drains are forced monotonic = in-order drain).
+        self._sb: List[Deque[int]] = [deque() for _ in range(config.num_cores)]
+        self._sb_last: List[int] = [0] * config.num_cores
+        # Atomics are ordered with respect to each other on a core: the
+        # next AMO cannot start until the previous one completed.  This is
+        # what makes far AtomicStores cost something despite the store
+        # buffer (single-thread far throughput in Fig. 1 is well below
+        # near), and it is how a high far-AMO rate backs up into the core.
+        self._amo_free: List[int] = [0] * config.num_cores
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
+        """Perform ``op`` for ``core`` starting at cycle ``now``.
+
+        Returns ``(completion_time, result)``; ``result`` is the old
+        value for AMO_LOAD, a :class:`DeferredRead` for READ (the engine
+        resolves it at completion time), and None otherwise.
+        """
+        kind = op.type
+        if kind is OpType.THINK:
+            return now + op.cycles, None
+        if kind is OpType.READ:
+            return self._read(core, op, now)
+        if kind is OpType.WRITE:
+            return self._write(core, op, now)
+        if kind is OpType.AMO_LOAD or kind is OpType.AMO_STORE:
+            return self._amo(core, op, now)
+        raise ValueError(f"unknown operation type: {kind!r}")
+
+    def read_value(self, addr: int) -> int:
+        """Architectural value currently stored at ``addr``."""
+        return self.values.get(addr, 0)
+
+    def poke_value(self, addr: int, value: int) -> None:
+        """Initialize memory contents (workload setup)."""
+        self.values[addr] = value
+
+    # ------------------------------------------------------------------
+    # store buffer
+    # ------------------------------------------------------------------
+
+    def _store_issue(self, core: int, now: int, drain_time: int) -> int:
+        """Issue a store-class op; returns when the core can move on."""
+        sb = self._sb[core]
+        while sb and sb[0] <= now:
+            sb.popleft()
+        visible = now + 1
+        if len(sb) >= self.config.store_buffer_entries:
+            oldest = sb.popleft()
+            self.stats.store_buffer_stalls += 1
+            visible = oldest + 1
+        # Drains are in-order: a younger store cannot drain earlier.
+        drain = max(drain_time, self._sb_last[core])
+        self._sb_last[core] = drain
+        sb.append(drain)
+        return visible
+
+    # ------------------------------------------------------------------
+    # loads
+    # ------------------------------------------------------------------
+
+    def _read(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
+        self.stats.reads += 1
+        block = op.addr >> 6
+        cfg = self.config
+        priv = self.privates[core]
+        line = priv.touch_l1(block)
+        if line is not None:
+            self.stats.l1_hits += 1
+            return now + cfg.l1_latency, DeferredRead(op.addr)
+        self.stats.l1_misses += 1
+        found, level = priv.find(block)
+        if found is not None and level == 2:
+            self.stats.l2_hits += 1
+            result = priv.promote(block)
+            self._handle_departures(core, result.departures, now)
+            return now + cfg.l2_latency, DeferredRead(op.addr)
+        done = self._read_shared(core, block, now)
+        return done, DeferredRead(op.addr)
+
+    def _read_shared(self, core: int, block: int, now: int) -> int:
+        """Full ReadShared transaction; allocates into the L1D.
+
+        Returns the core-visible completion time.
+        """
+        cfg = self.config
+        self.stats.read_shared += 1
+        slice_id = block % cfg.llc_slices
+        hn = self.home_nodes[slice_id]
+        entry = self.directory.entry(block)
+        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
+        self.traffic.record(MsgType.READ_REQ, req_hops)
+        arrive = now + self.mesh.core_to_slice(core, slice_id)
+        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        hn.busy_until = ordered + cfg.hn_occupancy
+        t_dir = ordered + cfg.directory_latency
+
+        owner = entry.owner
+        data_from_owner = False
+        if owner is not None and owner != core:
+            # Snoop the owner for data; it downgrades.  Data is forwarded
+            # directly owner -> requestor (CHI direct cache transfer);
+            # the HN only waits for the snoop acknowledgement.
+            data_ready = (t_dir + self.mesh.slice_to_core(slice_id, owner)
+                          + cfg.l1_latency)
+            data_from_owner = True
+            owner_priv = self.privates[owner]
+            owner_line, _lvl = owner_priv.find(block)
+            self.stats.snoops += 1
+            if owner_line is None:
+                # Directory raced ahead of a silent state we do not model;
+                # treat as LLC-sourced.
+                entry.drop(owner)
+                data_ready = t_dir + cfg.llc_latency
+                data_from_owner = False
+                self.traffic.record(MsgType.SNOOP,
+                                    self.mesh.hops_slice_to_core(slice_id, owner))
+                self.traffic.record(MsgType.SNOOP_RESP,
+                                    self.mesh.hops_slice_to_core(slice_id, owner))
+            elif owner_line.state.is_dirty:
+                self._record_snoop_traffic(slice_id, owner, with_data=True)
+                if hn.llc_fill_if_room(block):
+                    # HN takes the dirty copy; the old owner keeps a clean
+                    # shared copy (the common CHI choice).
+                    owner_priv.set_state(block, CacheState.SC)
+                    entry.owner = None
+                    entry.sharers.add(owner)
+                else:
+                    # LLC set full: owner keeps data responsibility in SD —
+                    # the (rare) source of the SharedDirty state.
+                    owner_priv.set_state(block, CacheState.SD)
+                self.stats.downgrades += 1
+            else:  # UC owner: forwards clean data, drops to SC.
+                self._record_snoop_traffic(slice_id, owner, with_data=True)
+                owner_priv.set_state(block, CacheState.SC)
+                entry.owner = None
+                entry.sharers.add(owner)
+                self._llc_fill(hn, block)
+                self.stats.downgrades += 1
+        elif hn.llc_lookup(block):
+            data_ready = t_dir + cfg.llc_latency
+        else:
+            data_ready = self._dram_read(block, t_dir)
+            self._llc_fill(hn, block)
+
+        if data_from_owner:
+            # DCT: final leg is owner -> requestor; the HN frees the line
+            # once the snoop acknowledgement returns.
+            entry.line_busy_until = t_dir + self._snoop_rtt(
+                slice_id, owner if owner is not None else core)
+            resp_hops = self.mesh.hops(self.mesh.core_tile(owner),
+                                       self.mesh.core_tile(core))
+            self.traffic.record(MsgType.COMP_DATA, resp_hops)
+            done = data_ready + self.mesh.core_to_core(owner, core) \
+                + cfg.l1_latency
+        else:
+            entry.line_busy_until = data_ready
+            resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
+            self.traffic.record(MsgType.COMP_DATA, resp_hops)
+            done = data_ready + self.mesh.slice_to_core(slice_id, core) \
+                + cfg.l1_latency
+
+        # Grant state: Unique when nobody else holds a copy.
+        if entry.holders() - {core}:
+            grant = CacheState.SC
+            entry.sharers.add(core)
+        else:
+            grant = CacheState.UC
+            entry.owner = core
+            entry.sharers.discard(core)
+            hn.llc_drop(block)
+            hn.amo_buffer.invalidate(block)
+        insert = self.privates[core].insert_l1(block, grant)
+        self._handle_departures(core, insert.departures, now)
+        return done
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+
+    def _write(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
+        self.stats.writes += 1
+        block = op.addr >> 6
+        cfg = self.config
+        priv = self.privates[core]
+        line = priv.touch_l1(block)
+        if line is not None:
+            self.stats.l1_hits += 1
+            if line.state.is_unique:
+                line.state = CacheState.UD
+                drain = now + cfg.l1_latency
+            else:
+                drain = self._upgrade(core, block, now)
+                line = priv.touch_l1(block)
+                if line is not None:
+                    line.state = CacheState.UD
+        else:
+            self.stats.l1_misses += 1
+            found, level = priv.find(block)
+            if found is not None and level == 2:
+                self.stats.l2_hits += 1
+                result = priv.promote(block)
+                self._handle_departures(core, result.departures, now)
+                if found.state.is_unique:
+                    priv.set_state(block, CacheState.UD)
+                    drain = now + cfg.l2_latency
+                else:
+                    drain = self._upgrade(core, block, now + cfg.l2_latency)
+                    priv.set_state(block, CacheState.UD)
+            else:
+                drain = self._read_unique(core, block, now,
+                                          fetched_by_amo=False)
+                priv.set_state(block, CacheState.UD)
+        self.values[op.addr] = op.value
+        visible = self._store_issue(core, now, drain)
+        return visible, None
+
+    def _upgrade(self, core: int, block: int, now: int) -> int:
+        """CleanUnique: gain write permission for a block already held
+        shared; invalidates all other copies, transfers no data."""
+        cfg = self.config
+        self.stats.upgrades += 1
+        slice_id = block % cfg.llc_slices
+        hn = self.home_nodes[slice_id]
+        entry = self.directory.entry(block)
+        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
+        self.traffic.record(MsgType.READ_REQ, req_hops)
+        arrive = now + self.mesh.core_to_slice(core, slice_id)
+        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        hn.busy_until = ordered + cfg.hn_occupancy
+        t_dir = ordered + cfg.directory_latency
+        # CHI-faithful flow: snoop responses return to the HN, which then
+        # sends Comp.  With ``direct_inval_acks`` the acks instead travel
+        # straight to the requestor and Comp is sent at ordering time.
+        acks_done = self._invalidate_holders(slice_id, block, entry,
+                                             exclude=core, now=now,
+                                             t_dir=t_dir, ack_to=core)
+        entry.owner = core
+        entry.sharers.clear()
+        entry.line_busy_until = acks_done
+        hn.llc_drop(block)
+        hn.amo_buffer.invalidate(block)
+        resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
+        self.traffic.record(MsgType.COMP_ACK, resp_hops)
+        if self.config.direct_inval_acks:
+            comp_at_core = t_dir + self.mesh.slice_to_core(slice_id, core)
+            return max(comp_at_core, acks_done)
+        return acks_done + self.mesh.slice_to_core(slice_id, core)
+
+    def _read_unique(self, core: int, block: int, now: int,
+                     fetched_by_amo: bool) -> int:
+        """ReadUnique: fetch the block with write permission (Fig. 2 left).
+
+        Returns the time the block (and permission) is usable at the L1D.
+        """
+        cfg = self.config
+        self.stats.read_unique += 1
+        slice_id = block % cfg.llc_slices
+        hn = self.home_nodes[slice_id]
+        entry = self.directory.entry(block)
+        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
+        self.traffic.record(MsgType.READ_REQ, req_hops)
+        arrive = now + self.mesh.core_to_slice(core, slice_id)
+        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        hn.busy_until = ordered + cfg.hn_occupancy
+        t_dir = ordered + cfg.directory_latency
+
+        owner = entry.owner
+        had_owner = owner is not None and owner != core
+        dirty_source = had_owner and self._holder_is_dirty(owner, block)
+        # The owner's data is always forwarded directly to the requestor
+        # (direct cache transfer); pure invalidation acks follow the
+        # ``direct_inval_acks`` routing.
+        acks_done = self._invalidate_holders(slice_id, block, entry,
+                                             exclude=core, now=now,
+                                             t_dir=t_dir, ack_to=core)
+        if not self.config.direct_inval_acks:
+            acks_done += self.mesh.slice_to_core(slice_id, core)
+        if had_owner:
+            data_at_core = (t_dir + self.mesh.slice_to_core(slice_id, owner)
+                            + cfg.l1_latency
+                            + self.mesh.core_to_core(owner, core))
+        elif hn.llc_lookup(block):
+            data_at_core = (t_dir + cfg.llc_latency
+                            + self.mesh.slice_to_core(slice_id, core))
+            self.traffic.record(MsgType.COMP_DATA,
+                                self.mesh.hops_slice_to_core(slice_id, core))
+        else:
+            data_at_core = (self._dram_read(block, t_dir)
+                            + self.mesh.slice_to_core(slice_id, core))
+            self.traffic.record(MsgType.COMP_DATA,
+                                self.mesh.hops_slice_to_core(slice_id, core))
+
+        entry.owner = core
+        entry.sharers.clear()
+        entry.line_busy_until = max(acks_done, data_at_core)
+        hn.llc_drop(block)
+        hn.amo_buffer.invalidate(block)
+        done = max(data_at_core, acks_done) + cfg.l1_latency
+        grant = CacheState.UD if dirty_source else CacheState.UC
+        insert = self.privates[core].insert_l1(block, grant, fetched_by_amo)
+        self._handle_departures(core, insert.departures, now)
+        return done
+
+    # ------------------------------------------------------------------
+    # atomics
+    # ------------------------------------------------------------------
+
+    def _amo(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
+        if op.type is OpType.AMO_LOAD:
+            self.stats.amo_loads += 1
+        else:
+            self.stats.amo_stores += 1
+        block = op.addr >> 6
+        priv = self.privates[core]
+        state = priv.l1_state(block)
+        if state.is_unique:
+            placement = Placement.NEAR
+            self.stats.near_amo_unique_hits += 1
+        else:
+            policy = self.policies[core]
+            placement = policy.decide(block, state, now)
+            self.policy_stats[core].record(placement)
+        # Per-core atomic ordering: wait for the previous AMO to complete.
+        start = max(now, self._amo_free[core])
+        if placement is Placement.NEAR:
+            done, value = self._amo_near(core, op, block, state, start)
+        else:
+            done, value = self._amo_far(core, op, block, start)
+        self._amo_free[core] = max(self._amo_free[core], done)
+        if op.type is OpType.AMO_STORE:
+            # The core itself only waits for store-buffer admission (plus
+            # any backlog from the atomic-ordering chain).
+            return self._store_issue(core, now, done), None
+        return done, value
+
+    def _apply_amo_value(self, op: MemOp) -> int:
+        """Apply the AMO to architectural state; returns the old value."""
+        old = self.values.get(op.addr, 0)
+        self.values[op.addr] = apply_amo(op.amo, old, op.value, op.expected)
+        return old
+
+    def _amo_near(self, core: int, op: MemOp, block: int,
+                  state: CacheState, now: int) -> Tuple[int, Optional[int]]:
+        """Execute the AMO in this core's L1D, acquiring the block first."""
+        cfg = self.config
+        priv = self.privates[core]
+        if state.is_unique:
+            self.stats.l1_hits += 1
+            priv.touch_l1(block)
+            priv.set_state(block, CacheState.UD)
+            exec_done = now + cfg.l1_latency + cfg.amo_alu_latency
+        elif state.is_valid:  # SC or SD in L1: upgrade in place
+            self.stats.l1_hits += 1
+            priv.touch_l1(block)
+            done = self._upgrade(core, block, now)
+            priv.set_state(block, CacheState.UD)
+            exec_done = done + cfg.amo_alu_latency
+        else:
+            self.stats.l1_misses += 1
+            found, level = priv.find(block)
+            if found is not None and level == 2:
+                self.stats.l2_hits += 1
+                result = priv.promote(block, fetched_by_amo=True)
+                self._handle_departures(core, result.departures, now)
+                if found.state.is_unique:
+                    priv.set_state(block, CacheState.UD)
+                    exec_done = now + cfg.l2_latency + cfg.amo_alu_latency
+                else:
+                    done = self._upgrade(core, block, now + cfg.l2_latency)
+                    priv.set_state(block, CacheState.UD)
+                    exec_done = done + cfg.amo_alu_latency
+            else:
+                done = self._read_unique(core, block, now, fetched_by_amo=True)
+                priv.set_state(block, CacheState.UD)
+                exec_done = done + cfg.amo_alu_latency
+
+        old = self._apply_amo_value(op)
+        self.stats.near_amos += 1
+        self.stats.amo_latency_sum += exec_done - now
+        self.policies[core].on_near_amo(block, now)
+        if op.type is OpType.AMO_LOAD:
+            return exec_done + cfg.commit_stall_overhead, old
+        return exec_done, None
+
+    def _amo_far(self, core: int, op: MemOp, block: int,
+                 now: int) -> Tuple[int, Optional[int]]:
+        """Execute the AMO at the home node (Fig. 2 right)."""
+        cfg = self.config
+        slice_id = block % cfg.llc_slices
+        hn = self.home_nodes[slice_id]
+        entry = self.directory.entry(block)
+        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
+        self.traffic.record(MsgType.ATOMIC_REQ, req_hops)
+        arrive = now + self.mesh.core_to_slice(core, slice_id)
+        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        hn.busy_until = ordered + cfg.hn_occupancy
+        t_dir = ordered + cfg.directory_latency
+
+        dirty_holder = any(self._holder_is_dirty(h, block)
+                           for h in entry.holders())
+        snoop_done = self._invalidate_holders(slice_id, block, entry,
+                                              exclude=None, now=now,
+                                              t_dir=t_dir)
+        buffer_hit = hn.amo_buffer.access(block)
+        if dirty_holder:
+            data_ready = snoop_done
+        elif buffer_hit:
+            self.stats.amo_buffer_hits += 1
+            data_ready = max(t_dir + cfg.amo_buffer_latency, snoop_done)
+        elif hn.llc_lookup(block):
+            data_ready = max(t_dir + cfg.llc_latency, snoop_done)
+        else:
+            data_ready = max(self._dram_read(block, t_dir), snoop_done)
+
+        exec_done = data_ready + cfg.amo_alu_latency
+        entry.line_busy_until = exec_done
+        hn.far_amos_executed += 1
+        # After a far AMO no private cache holds the block; the HN does.
+        self._llc_fill(hn, block)
+
+        old = self._apply_amo_value(op)
+        self.stats.far_amos += 1
+        resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
+        if op.type is OpType.AMO_LOAD:
+            self.stats.far_amo_loads += 1
+            self.traffic.record(MsgType.AMO_DATA, resp_hops)
+            done = exec_done + self.mesh.slice_to_core(slice_id, core)
+            self.stats.amo_latency_sum += done - now
+            return done + cfg.commit_stall_overhead, old
+        self.stats.far_amo_stores += 1
+        self.traffic.record(MsgType.COMP_ACK, resp_hops)
+        ack = snoop_done + self.mesh.slice_to_core(slice_id, core)
+        self.stats.amo_latency_sum += ack - now
+        return ack, None
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def _snoop_rtt(self, slice_id: int, target: int) -> int:
+        """Round-trip cost of snooping ``target`` from ``slice_id``."""
+        one_way = self.mesh.slice_to_core(slice_id, target)
+        return 2 * one_way + self.config.l1_latency
+
+    def _record_snoop_traffic(self, slice_id: int, target: int,
+                              with_data: bool) -> None:
+        hops = self.mesh.hops_slice_to_core(slice_id, target)
+        self.traffic.record(MsgType.SNOOP, hops)
+        self.traffic.record(
+            MsgType.SNOOP_DATA if with_data else MsgType.SNOOP_RESP, hops)
+
+    def _holder_is_dirty(self, core: int, block: int) -> bool:
+        line, _lvl = self.privates[core].find(block)
+        return line is not None and line.state.is_dirty
+
+    def _invalidate_holders(self, slice_id: int, block: int, entry,
+                            exclude: Optional[int], now: int,
+                            t_dir: int, ack_to: Optional[int] = None) -> int:
+        """Snoop-invalidate every private copy of ``block``.
+
+        Snoops go out in parallel.  With ``ack_to=None`` the responses
+        return to the home node (the far-AMO case: the HN must know all
+        copies are gone before it executes) and the returned time is when
+        the last response reaches the HN.  With ``ack_to=<core>`` the
+        invalidation acks travel directly to that requestor (the
+        CleanUnique/ReadUnique case), saving a NoC leg — the structural
+        reason acquiring a block for a near AMO is cheaper than
+        centralizing the same invalidations at the HN.  Either way the
+        returned time is ``t_dir`` when there was nothing to snoop.
+        """
+        snoop_done = t_dir
+        for holder in sorted(entry.holders()):
+            if holder == exclude:
+                continue
+            line, was_in_l1 = self.privates[holder].invalidate(block)
+            entry.drop(holder)
+            if line is None:
+                continue
+            self.stats.snoops += 1
+            self.stats.invalidations += 1
+            # Dirty holders must forward data; a UniqueClean holder also
+            # forwards since the exclusive LLC has no copy.
+            forwards_data = line.state.is_dirty or line.state is CacheState.UC
+            self._record_snoop_traffic(slice_id, holder,
+                                       with_data=forwards_data)
+            to_holder = self.mesh.slice_to_core(slice_id, holder)
+            if ack_to is None or not self.config.direct_inval_acks:
+                back = to_holder
+            else:
+                back = self.mesh.core_to_core(holder, ack_to)
+            rtt = t_dir + to_holder + self.config.l1_latency + back
+            if rtt > snoop_done:
+                snoop_done = rtt
+            policy = self.policies[holder]
+            policy.on_invalidation(block, now)
+            if was_in_l1:
+                policy.on_block_departure(block, line.fetched_by_amo,
+                                          line.reused, now)
+        return snoop_done
+
+    def _handle_departures(self, core: int, departures: List[Departure],
+                           now: int) -> None:
+        """Process eviction fallout from an L1 allocation."""
+        for dep in departures:
+            line = dep.line
+            if not dep.left_hierarchy:
+                # L1 -> L2 spill: ends the L1D residency the reuse
+                # predictor tracks.
+                self.stats.l1_evictions += 1
+                self.policies[core].on_block_departure(
+                    line.block, line.fetched_by_amo, line.reused, now)
+                line.fetched_by_amo = False
+                line.reused = False
+                continue
+            self.stats.l2_evictions += 1
+            self._hierarchy_departure(core, line, now)
+
+    def _hierarchy_departure(self, core: int, line, now: int) -> None:
+        """A block left the private hierarchy: update HN + traffic."""
+        block = line.block
+        entry = self.directory.entry(block)
+        entry.drop(core)
+        slice_id = block % self.config.llc_slices
+        hn = self.home_nodes[slice_id]
+        hops = self.mesh.hops_core_to_slice(core, slice_id)
+        if line.state is CacheState.SC:
+            # LLC already has a copy from the shared grant; just tell the
+            # directory.
+            self.traffic.record(MsgType.EVICT_NOTIFY, hops)
+            return
+        # UC/UD/SD carry data back; the exclusive LLC allocates it.
+        self.traffic.record(MsgType.WRITEBACK, hops)
+        self._llc_fill(hn, block)
+
+    def _llc_fill(self, hn: HomeNode, block: int) -> None:
+        victim = hn.llc_fill(block)
+        if victim is not None:
+            self.stats.llc_evictions += 1
+            chan = self.addr_map.channel_of_block(victim.block)
+            self.memory.access(chan, 0)
+            self.stats.dram_writes += 1
+            self.traffic.record(MsgType.MEM_WRITE, 1)
+
+    def _dram_read(self, block: int, issue_time: int) -> int:
+        chan = self.addr_map.channel_of_block(block)
+        done = self.memory.access(chan, issue_time)
+        self.stats.dram_reads += 1
+        self.traffic.record(MsgType.MEM_READ, 1)
+        self.traffic.record(MsgType.MEM_DATA, 1)
+        return done
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by property tests)
+    # ------------------------------------------------------------------
+
+    def check_coherence_invariants(self) -> None:
+        """Raise AssertionError if directory and caches disagree.
+
+        Invariants: at most one owner per block; owner and sharers hold
+        valid copies in compatible states; unique copies exist only at the
+        directory-recorded owner; no cache holds a block the directory
+        does not track.
+        """
+        holders_seen: Dict[int, List[int]] = {}
+        for core, priv in enumerate(self.privates):
+            for cache in (priv.l1, priv.l2):
+                for cache_line in cache.lines():
+                    holders_seen.setdefault(cache_line.block, []).append(core)
+                    entry = self.directory.peek(cache_line.block)
+                    assert entry is not None, (
+                        f"core {core} holds untracked block "
+                        f"{cache_line.block:#x}")
+                    if cache_line.state.is_unique:
+                        assert entry.owner == core, (
+                            f"unique copy of {cache_line.block:#x} at core "
+                            f"{core} but directory owner={entry.owner}")
+                    else:
+                        assert core in entry.holders(), (
+                            f"core {core} holds {cache_line.block:#x} "
+                            f"({cache_line.state.name}) unknown to directory")
+        for block, cores in holders_seen.items():
+            unique_holders = [
+                c for c in cores
+                if self.privates[c].find(block)[0].state.is_unique
+            ]
+            assert len(unique_holders) <= 1, (
+                f"block {block:#x} unique at multiple cores: {unique_holders}")
+            if unique_holders:
+                assert len(cores) == 1, (
+                    f"block {block:#x} unique at core {unique_holders[0]} "
+                    f"but also held by {cores}")

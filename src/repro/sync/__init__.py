@@ -1,0 +1,8 @@
+"""Software synchronization substrate built on the memory-op ISA."""
+
+from repro.sync.barrier import SenseBarrier
+from repro.sync.mutex import PthreadMutex, critical_section, spin_until_zero
+from repro.sync.spinlock import SpinLock
+
+__all__ = ["SenseBarrier", "PthreadMutex", "critical_section",
+           "spin_until_zero", "SpinLock"]

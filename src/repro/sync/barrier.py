@@ -1,0 +1,49 @@
+"""Sense-reversing centralized barrier (the POSIX barrier of Table III).
+
+Arrivals increment a shared counter with ``ldadd`` (an AtomicLoad: the
+arriving thread must see its arrival index to know whether it is last);
+the last arrival resets the counter and flips the sense word, which the
+other threads spin-read.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import isa
+from repro.frontend.program import OpStream
+
+
+class SenseBarrier:
+    """A sense-reversing barrier for ``nthreads`` participants.
+
+    One instance is shared by all participating programs; each thread's
+    private sense lives in this object, indexed by thread id (the model's
+    stand-in for a thread-local variable).
+    """
+
+    def __init__(self, base: int, nthreads: int) -> None:
+        if base % 64 != 0:
+            raise ValueError("barrier must be cache-block aligned")
+        if nthreads <= 0:
+            raise ValueError("barrier needs at least one participant")
+        self.count_addr = base
+        self.sense_addr = base + 64  # separate block: avoid false sharing
+        self.nthreads = nthreads
+        self._local_sense = [0] * nthreads
+
+    def wait(self, tid: int, max_backoff: int = 512) -> OpStream:
+        """Wait at the barrier (generator; yield from it)."""
+        new_sense = 1 - self._local_sense[tid]
+        self._local_sense[tid] = new_sense
+        arrival = yield isa.ldadd(self.count_addr, 1)
+        if arrival == self.nthreads - 1:
+            yield isa.write(self.count_addr, 0)
+            yield isa.write(self.sense_addr, new_sense)
+            return
+        backoff = 16
+        while True:
+            value = yield isa.read(self.sense_addr)
+            if value == new_sense:
+                return
+            yield isa.think(backoff)
+            if backoff < max_backoff:
+                backoff *= 2

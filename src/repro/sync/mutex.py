@@ -1,0 +1,104 @@
+"""Pthread-style mutex with the Fig. 4 cache-block layout.
+
+The paper's software-stack analysis (Section III-B3) shows why glibc-style
+mutexes defeat far AMOs: the ``Kind``, ``Lock``, ``Owner`` and ``NUsers``
+fields share one cache block, and both acquire and release mix plain reads
+and writes with the atomic, so a far AMO on ``Lock`` invalidates a block
+the very next instruction has to fetch right back.
+
+This model performs exactly the accesses of Fig. 4:
+
+acquire: (1) read Kind, (2) CAS Lock, (3) write Owner, (4) write NUsers
+release: (1) read Kind, (2) write NUsers, (3) write Owner, (4) SWAP Lock
+
+Failed acquires spin with a test-and-test-and-set read loop and bounded
+exponential backoff (glibc's adaptive mutex behaviour), so contention
+creates exactly the SharedClean-then-CAS pattern the static policies
+disagree about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import isa
+from repro.frontend.program import OpStream
+
+
+class PthreadMutex:
+    """A mutex occupying one cache block at ``base`` (Fig. 4 layout).
+
+    Field offsets within the block: Lock at +0, Owner at +8, Kind at +16,
+    NUsers at +24; the rest of the block is padding.
+    """
+
+    __slots__ = ("lock_addr", "owner_addr", "kind_addr", "nusers_addr")
+
+    def __init__(self, base: int) -> None:
+        if base % 64 != 0:
+            raise ValueError("mutex must be cache-block aligned")
+        self.lock_addr = base
+        self.owner_addr = base + 8
+        self.kind_addr = base + 16
+        self.nusers_addr = base + 24
+
+    def acquire(self, tid: int, test_first: bool = False,
+                max_backoff: int = 2048, rng=None) -> OpStream:
+        """Acquire the mutex for thread ``tid`` (generator; yield from it).
+
+        ``test_first`` reads the lock word before the first CAS attempt —
+        the read-before-acquire idiom Radiosity's task queue uses, which
+        leaves the block SharedClean at the moment of the CAS.  ``rng``
+        adds backoff jitter (see :func:`spin_until_zero`).
+        """
+        yield isa.read(self.kind_addr)
+        if test_first:
+            yield from spin_until_zero(self.lock_addr, max_backoff,
+                                       initial_backoff=64, rng=rng)
+        while True:
+            old = yield isa.cas(self.lock_addr, 0, tid + 1)
+            if old == 0:
+                break
+            # Contended path: glibc parks the thread after a short
+            # adaptive spin, so waits are long and cheap in instructions.
+            yield from spin_until_zero(self.lock_addr, max_backoff,
+                                       initial_backoff=512, rng=rng)
+        yield isa.write(self.owner_addr, tid + 1)
+        yield isa.write(self.nusers_addr, 1)
+
+    def release(self, tid: int) -> OpStream:
+        """Release the mutex (generator; yield from it)."""
+        yield isa.read(self.kind_addr)
+        yield isa.write(self.nusers_addr, 0)
+        yield isa.write(self.owner_addr, 0)
+        yield isa.swap(self.lock_addr, 0)
+
+
+def spin_until_zero(addr: int, max_backoff: int = 256,
+                    initial_backoff: int = 8, rng=None) -> OpStream:
+    """Spin-read ``addr`` until it holds zero, with exponential backoff.
+
+    The backoff bounds how many simulated reads a long wait costs while
+    keeping the waiter responsive enough to observe a release promptly.
+    ``rng`` (a ``random.Random``) adds jitter to each wait, which
+    desynchronizes the thundering herd that forms when every waiter
+    observes a release in the same window.
+    """
+    backoff = initial_backoff
+    while True:
+        value = yield isa.read(addr)
+        if value == 0:
+            return
+        wait = backoff if rng is None else backoff + rng.randrange(backoff)
+        yield isa.think(wait)
+        if backoff < max_backoff:
+            backoff *= 2
+
+
+def critical_section(mutex: PthreadMutex, tid: int, body: Optional[OpStream],
+                     test_first: bool = False) -> OpStream:
+    """Acquire, run ``body``, release — the common workload idiom."""
+    yield from mutex.acquire(tid, test_first=test_first)
+    if body is not None:
+        yield from body
+    yield from mutex.release(tid)

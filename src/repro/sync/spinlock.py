@@ -1,0 +1,59 @@
+"""Test-and-test-and-set spinlock (the Galois runtime's lock).
+
+Unlike the pthread mutex, the spinlock is a single word with no adjacent
+bookkeeping fields, so its behaviour under far AMOs is governed purely by
+the lock word's own contention and locality.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import isa
+from repro.frontend.program import OpStream
+from repro.sync.mutex import spin_until_zero
+
+
+class SpinLock:
+    """A one-word test-and-test-and-set lock at ``addr``.
+
+    ``swap_release`` releases with an atomic SWAP instead of a plain store
+    — the idiom of the Radiosity task-queue lock the paper discusses,
+    which makes the release itself subject to AMO placement.
+    ``test_first`` reads the lock word before the first CAS attempt, so
+    under contention the CAS finds the block SharedClean.
+    """
+
+    __slots__ = ("addr", "swap_release", "test_first")
+
+    def __init__(self, addr: int, swap_release: bool = False,
+                 test_first: bool = False) -> None:
+        self.addr = addr
+        self.swap_release = swap_release
+        self.test_first = test_first
+
+    def acquire(self, tid: int, max_backoff: int = 4096, rng=None) -> OpStream:
+        """Acquire (generator; yield from it).
+
+        Without ``test_first`` the first attempt is a direct CAS (the
+        uncontended fast path compilers emit); failures fall back to the
+        read-spin loop either way.  ``rng`` adds backoff jitter.
+        """
+        if self.test_first:
+            yield from spin_until_zero(self.addr, max_backoff,
+                                       initial_backoff=256, rng=rng)
+        while True:
+            old = yield isa.cas(self.addr, 0, tid + 1)
+            if old == 0:
+                return
+            yield from spin_until_zero(self.addr, max_backoff,
+                                       initial_backoff=512, rng=rng)
+
+    def release(self, tid: int) -> OpStream:
+        """Release the lock (swap or plain store, per ``swap_release``).
+
+        The swap is the no-return (AtomicStore) variant — the release
+        needs no old value, so it can commit early (Section III-B1).
+        """
+        if self.swap_release:
+            yield isa.stswp(self.addr, 0)
+        else:
+            yield isa.write(self.addr, 0)

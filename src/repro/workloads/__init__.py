@@ -1,0 +1,37 @@
+"""Benchmark analogues of paper Table III plus the Fig. 1 microbenchmark.
+
+Importing this package registers every workload; use
+:func:`repro.workloads.make_workload` (or the ``WORKLOADS`` mapping) to
+instantiate them by their Table III code.
+"""
+
+from repro.workloads import inputs  # noqa: F401  (re-exported module)
+from repro.workloads.base import (HIGH_APKI_BOUND, LOW_APKI_BOUND,
+                                  WORKLOADS, AddressAllocator, Workload,
+                                  WorkloadSpec, all_codes, classify_apki,
+                                  codes_by_intensity, make_workload, register)
+
+# Importing the suite modules populates the registry.
+from repro.workloads import microbench  # noqa: E402,F401
+from repro.workloads import splash  # noqa: E402,F401
+from repro.workloads import galois  # noqa: E402,F401
+from repro.workloads import gap  # noqa: E402,F401
+from repro.workloads import parsec  # noqa: E402,F401
+from repro.workloads import kernels  # noqa: E402,F401
+
+from repro.workloads.microbench import SharedCounter  # noqa: E402
+
+#: Table III order: Splash-3, Galois, GAP, then the standalone kernels.
+TABLE_III_CODES = [
+    "BAR", "FMM", "OCE", "RAD", "RAY", "VOL", "WAT",
+    "BFS", "CC", "CLU", "GME", "KCOR", "PR", "SPT", "SSSP",
+    "BC", "TC",
+    "FLU", "HIST", "RSOR", "SPMV",
+]
+
+__all__ = [
+    "HIGH_APKI_BOUND", "LOW_APKI_BOUND", "WORKLOADS", "AddressAllocator",
+    "Workload", "WorkloadSpec", "all_codes", "classify_apki",
+    "codes_by_intensity", "make_workload", "register", "inputs",
+    "SharedCounter", "TABLE_III_CODES",
+]

@@ -1,0 +1,324 @@
+"""Galois benchmark analogues (paper Table III, spinlock + direct AMOs).
+
+The Galois workloads run over synthetic road-network graphs
+(:func:`repro.workloads.inputs.road_graph`) and use the framework's
+test-and-test-and-set spinlock plus direct atomic updates (``ldmin``,
+``stadd``, ``ldadd``, ``stmin``, ``cas``), matching the primitive column
+of Table III.  Graph data is laid out one node record per cache block, so
+the AMO footprint scales with the graph, dwarfing the L1D for the large
+inputs exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram, Program
+from repro.sync.spinlock import SpinLock
+from repro.workloads import inputs
+from repro.workloads.base import Workload, WorkloadSpec, register
+
+
+class _GraphWorkload(Workload):
+    """Shared setup: a road graph with one shared record per node."""
+
+    graph_nodes = 1600.0
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.adj = inputs.road_graph(self.scaled(self.graph_nodes), seed=seed)
+        self.n = len(self.adj)
+        self.node_addr = self.layout.alloc_array(self.n, 64)
+
+    def partition(self, tid: int) -> range:
+        """Contiguous node range owned by thread ``tid``."""
+        per = (self.n + self.num_threads - 1) // self.num_threads
+        return range(tid * per, min(self.n, (tid + 1) * per))
+
+
+@register
+class Bfs(_GraphWorkload):
+    """BFS: frontier relaxations with ``ldmin``; reads before updates.
+
+    Threads sweep their own partition (strong reuse of their nodes'
+    blocks), read the neighbour's distance, and improve it with ``ldmin``
+    when profitable.  Cross-partition edges create moderate sharing; the
+    read-before-AMO leaves blocks SharedClean, so far-for-SC policies give
+    up real reuse (paper: BFS is hurt by Shared Far / Unique Near).
+    """
+
+    spec = WorkloadSpec(
+        code="BFS", name="BFS", suite="Galois", input_name="USA",
+        primitives="Spinlock, ldmin", intensity="M",
+        description="Partitioned distance relaxation, read-before-ldmin")
+    graph_nodes = 1800.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            part = self.partition(tid)
+            rounds = self.scaled(3)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(245)
+                    yield isa.read(self.node_addr[u])
+                    for v, w in self.adj[u][:3]:
+                        yield isa.read(self.node_addr[v])
+                        if rng.random() < 0.6:
+                            yield isa.stmin(self.node_addr[v], w)
+            del rng
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class ConnectedComponents(_GraphWorkload):
+    """CC: label propagation with ``ldmin`` over the largest footprint.
+
+    Labels are revisited across rounds (reuse) but the working set far
+    exceeds the L1D, so residencies are short; the conservative PN-flavour
+    of DynAMO keeps the baseline performance where the aggressive UN
+    flavour over-predicts far (paper: Reuse-UN degrades CC).
+    """
+
+    spec = WorkloadSpec(
+        code="CC", name="CC", suite="Galois", input_name="USA",
+        primitives="Spinlock, ldmin", intensity="M",
+        description="Label propagation, large reused label array")
+    graph_nodes = 2400.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            part = self.partition(tid)
+            rounds = self.scaled(3)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(250)
+                    label = yield isa.read(self.node_addr[u])
+                    for v, _w in self.adj[u][:2]:
+                        yield isa.ldmin(self.node_addr[v], label)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Cluster(_GraphWorkload):
+    """CLU: agglomerative clustering; hot shared accumulators with reuse.
+
+    A modest set of cluster centroids receives ``stadd`` updates from all
+    threads; each thread tends to hit the same few centroids repeatedly
+    before moving on, giving the contended blocks enough reuse that near
+    execution pays off (paper: Reuse-UN loses performance on Cluster).
+    """
+
+    spec = WorkloadSpec(
+        code="CLU", name="Cluster", suite="Galois", input_name="NY",
+        primitives="Spinlock, stadd", intensity="M",
+        description="Hot centroid accumulators, per-thread affinity")
+    graph_nodes = 900.0
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.centroids = self.layout.alloc_array(4 * num_threads, 64)
+        self.locks = [SpinLock(a) for a in
+                      self.layout.alloc_array(4 * num_threads, 64)]
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            part = self.partition(tid)
+            for step, u in enumerate(part):
+                yield isa.think(450)
+                yield isa.read(self.node_addr[u])
+                # Mostly this thread's affine centroids, with spill-over.
+                if rng.random() < 0.8:
+                    c = 4 * tid + rng.randrange(4)
+                else:
+                    c = rng.randrange(len(self.centroids))
+                yield isa.read(self.centroids[c])
+                for _ in range(3):
+                    yield isa.stadd(self.centroids[c], 1)
+                # Periodic global statistics scan: every thread reads all
+                # centroids, leaving them SharedClean everywhere.
+                if step % 24 == 0:
+                    for addr in self.centroids:
+                        yield isa.read(addr)
+                if rng.random() < 0.2:
+                    lock = self.locks[c]
+                    yield from lock.acquire(tid)
+                    yield isa.write(self.centroids[c] + 8, u)
+                    yield from lock.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Gmetis(_GraphWorkload):
+    """GME: multilevel partitioner; phases with opposite AMO locality.
+
+    The coarsening/matching phase CASes on match words spread over the
+    whole graph in an interleaved order — every block is touched once per
+    round by whichever thread gets there first (the Fig. 3(a) turn-taking
+    pattern, far-friendly).  The refinement phase works each thread's own
+    boundary repeatedly (near-friendly).  No static policy fits both,
+    which is why GMETIS is a DynAMO headline workload.
+    """
+
+    spec = WorkloadSpec(
+        code="GME", name="GMETIS", suite="Galois", input_name="FLA",
+        primitives="Spinlock, cas", intensity="H",
+        description="Matching phase (no locality) + refinement (locality)")
+    graph_nodes = 2000.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            # Matching: stride over the whole graph; interleaved thread
+            # order means each match word ping-pongs if fetched near.
+            stride = self.num_threads
+            for u in range(tid, self.n, stride):
+                yield isa.think(45)
+                yield isa.cas(self.node_addr[u], 0, tid + 1)
+                v = self.adj[u][0][0] if self.adj[u] else u
+                yield isa.cas(self.node_addr[v], 0, tid + 1)
+            # Refinement: repeated CAS traffic on this thread's boundary.
+            part = self.partition(tid)
+            boundary = list(part)[:max(1, len(part) // 4)]
+            for _round in range(self.scaled(6)):
+                for u in boundary:
+                    yield isa.think(60)
+                    yield isa.read(self.node_addr[u])
+                    yield isa.cas(self.node_addr[u], tid + 1, tid + 1)
+            del rng
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Kcore(_GraphWorkload):
+    """KCOR: k-core decomposition; ``ldadd`` degree decrements.
+
+    Degrees of low-degree nodes are decremented repeatedly from multiple
+    threads; blocks see both contention and reuse, landing near the
+    break-even point between placements at high APKI.
+    """
+
+    spec = WorkloadSpec(
+        code="KCOR", name="KCORE", suite="Galois", input_name="USA",
+        primitives="Spinlock, ldadd", intensity="H",
+        description="Degree decrement storms with partial reuse")
+    graph_nodes = 1400.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            part = self.partition(tid)
+            rounds = self.scaled(4)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(50)
+                    for v, _w in self.adj[u][:3]:
+                        # Check the degree before decrementing: the block
+                        # is SharedClean when the ldadd executes.
+                        yield isa.read(self.node_addr[v])
+                        yield isa.ldadd(self.node_addr[v], -1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class PageRank(_GraphWorkload):
+    """PR: rank accumulation with CAS retry loops; iterations give reuse.
+
+    The CAS reads the current rank first (the usual float-accumulate
+    idiom), so the AMO lands on SharedClean blocks that will be read again
+    next iteration — near-friendly, mirroring the paper's PR result.
+    """
+
+    spec = WorkloadSpec(
+        code="PR", name="Page Rank", suite="Galois", input_name="FLA",
+        primitives="Spinlock, cas", intensity="M",
+        description="CAS rank accumulation with cross-iteration reuse")
+    graph_nodes = 1000.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            part = self.partition(tid)
+            rounds = self.scaled(3)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(400)
+                    for v, _w in self.adj[u][:2]:
+                        old = yield isa.read(self.node_addr[v])
+                        won = yield isa.cas(self.node_addr[v], old, old + 1)
+                        if won != old:
+                            yield isa.cas(self.node_addr[v], won, won + 1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Spt(_GraphWorkload):
+    """SPT: shortest-path tree; the Fig. 3(b) high-reuse pattern.
+
+    Each thread performs several consecutive CAS updates on the same tree
+    word before anyone else touches it — fetching the block near once and
+    hitting it repeatedly is exactly right, so far-heavy policies lose
+    (paper: Reuse-UN degrades SPT; All/Present Near are best).
+    """
+
+    spec = WorkloadSpec(
+        code="SPT", name="SPT", suite="Galois", input_name="USAW",
+        primitives="Spinlock, cas", intensity="H",
+        description="Bursts of 4 CASes per tree word (pattern (b))")
+    graph_nodes = 1300.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            part = self.partition(tid)
+            rounds = self.scaled(4)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(55)
+                    # Peek at the neighbours' tree words first; boundary
+                    # nodes end up SharedClean in several caches.
+                    for v, _w in self.adj[u][:2]:
+                        yield isa.read(self.node_addr[v])
+                    addr = self.node_addr[u]
+                    value = yield isa.read(addr)
+                    for k in range(4):
+                        value = yield isa.cas(addr, value, value + 1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Sssp(_GraphWorkload):
+    """SSSP: delta-stepping relaxations with ``stmin``.
+
+    Buckets give partial ownership: most relaxations stay inside a
+    thread's bucket (reuse) while bucket boundaries cross threads; the
+    1 MB-class footprint keeps residencies meaningful.
+    """
+
+    spec = WorkloadSpec(
+        code="SSSP", name="SSSP", suite="Galois", input_name="USA",
+        primitives="Spinlock, stmin", intensity="M",
+        description="Delta-stepping stmin relaxations, bucket locality")
+    graph_nodes = 1200.0
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            part = self.partition(tid)
+            rounds = self.scaled(3)
+            for _round in range(rounds):
+                for u in part:
+                    yield isa.think(210)
+                    yield isa.read(self.node_addr[u])
+                    for v, w in self.adj[u][:2]:
+                        if rng.random() < 0.7:
+                            yield isa.stmin(self.node_addr[v], w)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]

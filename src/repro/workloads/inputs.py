@@ -1,0 +1,156 @@
+"""Synthetic input generators standing in for the paper's datasets.
+
+The paper uses DIMACS road networks (USA/FLA/NY), Kronecker graphs, UFL
+sparse matrices (JP, rma10) and image files (NASA PNG, BMP24).  None are
+redistributable here, so we synthesize inputs with the structural
+properties the workloads' access patterns depend on:
+
+* *road networks* — near-planar, low-degree, high-diameter: a 2D grid with
+  random diagonal shortcuts and random positive weights;
+* *Kronecker graphs* — heavy-tailed degree distribution: preferential-
+  attachment style edge sampling;
+* *sparse matrices* — ``banded`` (rma10-like: dense band around the
+  diagonal, so consecutive rows share y-vector blocks → reuse) and
+  ``scattered`` (JP-like: random column structure with rows spread over a
+  wide range → no reuse);
+* *images* — ``uniform`` pixel-value distribution (NASA-like photograph:
+  updates spread over all histogram bins) and ``skewed`` (BMP24-like
+  graphic: a few dominant colours → a small hot bin set).
+
+All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+Edge = Tuple[int, int, int]  # (src, dst, weight)
+
+
+def road_graph(nodes: int, seed: int = 0,
+               shortcut_fraction: float = 0.05) -> List[List[Tuple[int, int]]]:
+    """Grid-based road-network analogue.
+
+    Returns an adjacency list: ``adj[u] = [(v, weight), ...]``.  The graph
+    is connected, low-degree (<= 5) and high-diameter like the DIMACS road
+    networks.
+    """
+    if nodes <= 0:
+        raise ValueError("graph needs at least one node")
+    rng = random.Random(seed)
+    side = max(1, int(nodes ** 0.5))
+    count = side * side
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(count)]
+
+    def add(u: int, v: int) -> None:
+        w = rng.randint(1, 100)
+        adj[u].append((v, w))
+        adj[v].append((u, w))
+
+    for y in range(side):
+        for x in range(side):
+            u = y * side + x
+            if x + 1 < side:
+                add(u, u + 1)
+            if y + 1 < side:
+                add(u, u + side)
+    shortcuts = int(count * shortcut_fraction)
+    for _ in range(shortcuts):
+        u = rng.randrange(count)
+        v = rng.randrange(count)
+        if u != v:
+            add(u, v)
+    return adj
+
+
+def kronecker_graph(nodes: int, edges_per_node: int = 8,
+                    seed: int = 0) -> List[List[int]]:
+    """Heavy-tailed (Kronecker/R-MAT-like) undirected graph.
+
+    Endpoints are sampled with a bit-recursive skew so a few hub nodes
+    collect a large share of the edges, matching the degree skew that
+    makes GAP's shared counters hot.
+    """
+    if nodes <= 1:
+        raise ValueError("graph needs at least two nodes")
+    rng = random.Random(seed)
+    bits = max(1, (nodes - 1).bit_length())
+    adj: List[List[int]] = [[] for _ in range(nodes)]
+
+    def sample_node() -> int:
+        value = 0
+        for _ in range(bits):
+            value <<= 1
+            # 0-bit with probability 0.65: skews mass toward low ids.
+            if rng.random() >= 0.65:
+                value |= 1
+        return value % nodes
+
+    for _ in range(nodes * edges_per_node // 2):
+        u = sample_node()
+        v = sample_node()
+        if u != v:
+            adj[u].append(v)
+            adj[v].append(u)
+    return adj
+
+
+def sparse_matrix(rows: int, nnz_per_row: int, kind: str,
+                  seed: int = 0, band: int = 0) -> List[List[int]]:
+    """Column indices per row for an SPMV kernel.
+
+    ``kind``:
+        * ``"banded"`` — columns within a narrow band of the diagonal
+          (rma10-like; the output vector has strong block reuse);
+        * ``"scattered"`` — columns uniform over the full range
+          (JP-like; no output-vector reuse).
+    """
+    if kind not in ("banded", "scattered"):
+        raise ValueError(f"unknown matrix kind {kind!r}")
+    rng = random.Random(seed)
+    cols: List[List[int]] = []
+    if band <= 0:
+        band = max(8, nnz_per_row * 2)
+    for r in range(rows):
+        if kind == "banded":
+            lo = max(0, r - band)
+            hi = min(rows - 1, r + band)
+            row = sorted(rng.randint(lo, hi) for _ in range(nnz_per_row))
+        else:
+            row = sorted(rng.randrange(rows) for _ in range(nnz_per_row))
+        cols.append(row)
+    return cols
+
+
+def image_pixels(count: int, num_bins: int, kind: str,
+                 seed: int = 0) -> List[int]:
+    """Histogram-bin index per pixel.
+
+    ``kind``:
+        * ``"uniform"`` — every bin equally likely (NASA-like photo; the
+          bin array is streamed with no reuse);
+        * ``"skewed"`` — 90% of pixels fall in a handful of hot bins
+          (BMP24-like graphic; the hot bins live happily in the L1D).
+    """
+    if kind not in ("uniform", "skewed"):
+        raise ValueError(f"unknown image kind {kind!r}")
+    rng = random.Random(seed)
+    if kind == "uniform":
+        return [rng.randrange(num_bins) for _ in range(count)]
+    hot = [rng.randrange(num_bins) for _ in range(max(1, num_bins // 64))]
+    pixels = []
+    for _ in range(count):
+        if rng.random() < 0.9:
+            pixels.append(hot[rng.randrange(len(hot))])
+        else:
+            pixels.append(rng.randrange(num_bins))
+    return pixels
+
+
+def degree_table(adj) -> Dict[int, int]:
+    """Node -> degree for an adjacency structure (lists of ints or pairs)."""
+    degrees: Dict[int, int] = {}
+    for node, neighbors in enumerate(adj):
+        degrees[node] = len(neighbors)
+    return degrees

@@ -1,0 +1,355 @@
+"""Splash-3 benchmark analogues (paper Table III, POSIX-mutex suite).
+
+Each class reproduces the synchronization skeleton the paper attributes to
+the benchmark: which primitive protects what, how contended it is, how
+much locality the AMO targets have, and the surrounding compute density
+(which sets the APKI class).  The physics itself is abstracted into
+``think`` operations and private-data traffic — the placement policies
+never see the arithmetic, only the memory behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram, Program
+from repro.sync.barrier import SenseBarrier
+from repro.sync.mutex import PthreadMutex
+from repro.sync.spinlock import SpinLock
+from repro.workloads.base import Workload, WorkloadSpec, register
+
+
+def _skewed_index(rng, n: int, skew: float = 2.0) -> int:
+    """Pick an index in [0, n) biased toward 0 (hot-lock distributions)."""
+    return min(int((rng.random() ** skew) * n), n - 1)
+
+
+@register
+class Barnes(Workload):
+    """BAR: N-body tree code; multi-phase with a hot tree-root mutex.
+
+    Phase A models tree construction: insertions contend on a small set of
+    upper-tree mutexes (the root lock ping-pongs between threads).  Phase B
+    models force computation: long compute stretches with per-thread cell
+    locks (uncontended, strong locality).  The phase mix is what lets the
+    dynamic predictors beat every static policy here.
+    """
+
+    spec = WorkloadSpec(
+        code="BAR", name="Barnes", suite="Splash-3", input_name="16k",
+        primitives="POSIX mutex", intensity="L",
+        description="N-body: contended tree-build locks + local force locks")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.bodies_per_thread = self.scaled(120)
+        self.tree_locks = [PthreadMutex(a) for a in
+                           self.layout.alloc_array(8, 64)]
+        self.cell_locks = [PthreadMutex(a) for a in
+                           self.layout.alloc_array(4 * num_threads, 64)]
+        self.node_data = self.layout.alloc_array(64, 64)
+        self.private_base = [self.layout.alloc(8 * 1024)
+                             for _ in range(num_threads)]
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            priv = self.private_base[tid]
+            # Phase A: tree build — contended upper-tree locks.
+            for i in range(self.bodies_per_thread):
+                yield isa.think(1500)
+                lock = self.tree_locks[_skewed_index(rng, len(self.tree_locks))]
+                yield from lock.acquire(tid, test_first=True)
+                node = self.node_data[rng.randrange(len(self.node_data))]
+                yield isa.read(node)
+                yield isa.write(node, tid)
+                yield from lock.release(tid)
+            # Phase B: force computation — local locks, heavy compute.
+            my_locks = self.cell_locks[4 * tid:4 * tid + 4]
+            for i in range(self.bodies_per_thread):
+                yield isa.think(2600)
+                for j in range(4):
+                    yield isa.read(priv + (i * 4 + j) % 1024 * 8)
+                lock = my_locks[i % 4]
+                yield from lock.acquire(tid)
+                yield isa.write(lock.nusers_addr + 8, i)
+                yield from lock.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Fmm(Workload):
+    """FMM: fast multipole method; many lightly-contended mutexes.
+
+    Locks are spread over a wide set, so acquisitions rarely collide and
+    almost every AMO finds its block with locality — the benchmark where
+    all placement policies should be close to All Near.
+    """
+
+    spec = WorkloadSpec(
+        code="FMM", name="FMM", suite="Splash-3", input_name="16K",
+        primitives="POSIX mutex", intensity="L",
+        description="Multipole method: wide lock set, low contention")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.iterations = self.scaled(150)
+        self.locks = [PthreadMutex(a) for a in
+                      self.layout.alloc_array(16 * num_threads, 64)]
+        self.box_data = self.layout.alloc_array(16 * num_threads, 64)
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            n = len(self.locks)
+            for i in range(self.iterations):
+                yield isa.think(1700)
+                # Mostly this thread's own boxes; occasional neighbour.
+                if rng.random() < 0.85:
+                    idx = 16 * tid + rng.randrange(16)
+                else:
+                    idx = rng.randrange(n)
+                lock = self.locks[idx]
+                yield from lock.acquire(tid)
+                yield isa.read(self.box_data[idx])
+                yield isa.write(self.box_data[idx], i)
+                yield from lock.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class OceanCp(Workload):
+    """OCE: grid stencil solver; barrier-dominated, tiny AMO footprint.
+
+    Almost all traffic is private stencil reads/writes; AMOs appear only
+    in the barriers between sweeps and a couple of global-reduction locks,
+    matching the 4 KB AMO footprint of Table III.
+    """
+
+    spec = WorkloadSpec(
+        code="OCE", name="Ocean_cp", suite="Splash-3", input_name="512x512",
+        primitives="POSIX mutex", intensity="L",
+        description="Stencil sweeps + barriers; AMOs only in synchronization")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.sweeps = self.scaled(12)
+        self.rows_per_sweep = self.scaled(24)
+        self.barrier = SenseBarrier(self.layout.alloc(128), num_threads)
+        self.reduction_lock = PthreadMutex(self.layout.alloc(64))
+        self.reduction_addr = self.layout.alloc(64)
+        self.grid_base = [self.layout.alloc(16 * 1024)
+                          for _ in range(num_threads)]
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            grid = self.grid_base[tid]
+            for sweep in range(self.sweeps):
+                for row in range(self.rows_per_sweep):
+                    yield isa.think(500)
+                    base = grid + (row % 32) * 512
+                    yield isa.read(base)
+                    yield isa.read(base + 64)
+                    yield isa.write(base, sweep)
+                yield from self.reduction_lock.acquire(tid)
+                yield isa.read(self.reduction_addr)
+                yield isa.write(self.reduction_addr, sweep)
+                yield from self.reduction_lock.release(tid)
+                yield from self.barrier.wait(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Radiosity(Workload):
+    """RAD: hierarchical radiosity; one highly-contended task-queue lock.
+
+    All threads enqueue/dequeue through a single task-queue lock whose
+    word is read before acquisition (test-and-test-and-set) and released
+    with an atomic SWAP — the exact structure the paper analyses: lock and
+    unlock operations can complete at the LLC.  Under All Near the lock
+    block ping-pongs between L1Ds; policies that issue far AMOs for SC
+    blocks keep the lock at the home node and win (paper: ~1.06x for
+    Shared Far / Dirty Near / Unique Near).
+    """
+
+    spec = WorkloadSpec(
+        code="RAD", name="Radiosity", suite="Splash-3", input_name="room",
+        primitives="POSIX mutex", intensity="M",
+        description="Single hot task-queue lock, read-before-CAS")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.tasks_per_thread = self.scaled(140)
+        self.queue_lock = SpinLock(self.layout.alloc(64), swap_release=True,
+                                   test_first=True)
+        self.queue_head = self.layout.alloc(64)
+        self.progress_addr = self.layout.alloc(64)
+        self.patch_data = self.layout.alloc_array(256, 64)
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            for i in range(self.tasks_per_thread):
+                # Dequeue a task under the hot lock.
+                yield from self.queue_lock.acquire(tid, rng=rng)
+                yield isa.read(self.queue_head)
+                yield isa.write(self.queue_head, i)
+                yield from self.queue_lock.release(tid)
+                # Process the patch: task sizes vary, so threads arrive
+                # at the lock unsynchronized.
+                yield isa.think(rng.randint(150, 500))
+                patch = self.patch_data[rng.randrange(len(self.patch_data))]
+                yield isa.read(patch)
+                yield isa.write(patch, tid)
+                yield isa.stadd(self.progress_addr, 1)
+                yield isa.stadd(self.progress_addr + 8, 1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Raytrace(Workload):
+    """RAY: ray tracer; tile counters read before each atomic grab.
+
+    Threads repeatedly read a per-tile work counter and then ``ldadd`` it
+    to claim rays.  Each thread revisits its own tile many times, so the
+    counter block has real reuse — far-for-SC policies lose it.
+    """
+
+    spec = WorkloadSpec(
+        code="RAY", name="Raytrace", suite="Splash-3", input_name="car",
+        primitives="POSIX mutex", intensity="L",
+        description="Work counters with read-before-AMO and tile locality")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.rays_per_thread = self.scaled(240)
+        self.tile_counters = self.layout.alloc_array(2 * num_threads, 64)
+        self.scene_base = self.layout.alloc(32 * 1024)
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            my_tiles = (self.tile_counters[2 * tid],
+                        self.tile_counters[2 * tid + 1])
+            for i in range(self.rays_per_thread):
+                yield isa.think(650)
+                # Scene traversal: shared read-only data with heavy reuse.
+                for j in range(3):
+                    yield isa.read(self.scene_base + rng.randrange(512) * 64)
+                if rng.random() < 0.9:
+                    counter = my_tiles[i % 2]
+                else:  # steal from a random tile
+                    counter = self.tile_counters[
+                        rng.randrange(len(self.tile_counters))]
+                # Load-balance check: peek at a neighbour tile's counter,
+                # putting that block in SharedClean in several caches.
+                peek = self.tile_counters[(2 * tid + 3) %
+                                          len(self.tile_counters)]
+                yield isa.read(peek)
+                yield isa.read(counter)
+                yield isa.ldadd(counter, 1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class Volrend(Workload):
+    """VOL: volume renderer; short turn-taking critical sections.
+
+    A small set of work-queue spin locks (test-and-test-and-set with SWAP
+    release) is hammered round-robin by all threads with hardly any data
+    locality between turns, so the lock blocks ping-pong under near
+    execution and policies that push SC-state AMOs to the home node win
+    (paper: Unique/Dirty Near beat All/Present Near on Volrend).
+    """
+
+    spec = WorkloadSpec(
+        code="VOL", name="Volrend", suite="Splash-3", input_name="head",
+        primitives="POSIX mutex", intensity="M",
+        description="Turn-taking work-queue locks, no inter-turn locality")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.grabs_per_thread = self.scaled(160)
+        self.queue_locks = [SpinLock(a, swap_release=True, test_first=True)
+                            for a in self.layout.alloc_array(2, 64)]
+        self.work_counters = self.layout.alloc_array(2, 64)
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            for i in range(self.grabs_per_thread):
+                idx = i % len(self.queue_locks)
+                lock = self.queue_locks[idx]
+                yield from lock.acquire(tid, rng=rng)
+                yield isa.read(self.work_counters[idx])
+                yield isa.write(self.work_counters[idx], i)
+                yield from lock.release(tid)
+                yield isa.think(rng.randint(90, 280))
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class WaterNs(Workload):
+    """WAT: molecular dynamics; per-molecule locks with strong ownership.
+
+    Threads lock mostly their own molecules (pattern (b) of Fig. 3:
+    several accesses per block before anyone else touches it) plus an
+    occasional CAS on a global accumulator.  Near execution is the right
+    answer nearly everywhere.
+    """
+
+    spec = WorkloadSpec(
+        code="WAT", name="Water-Ns", suite="Splash-3", input_name="3375 mol",
+        primitives="POSIX mutex, cas", intensity="L",
+        description="Own-molecule locks + rare global CAS accumulation")
+
+    def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.steps = self.scaled(130)
+        self.mol_locks = [PthreadMutex(a) for a in
+                          self.layout.alloc_array(8 * num_threads, 64)]
+        self.mol_data = self.layout.alloc_array(8 * num_threads, 64)
+        self.global_acc = self.layout.alloc(64)
+
+    def programs(self) -> List[Program]:
+        import random
+
+        def body(tid: int):
+            rng = random.Random(self.seed * 977 + tid)
+            for step in range(self.steps):
+                yield isa.think(2400)
+                # Update a few of this thread's own molecules.
+                for j in range(2):
+                    idx = 8 * tid + rng.randrange(8)
+                    lock = self.mol_locks[idx]
+                    yield from lock.acquire(tid)
+                    yield isa.read(self.mol_data[idx])
+                    yield isa.write(self.mol_data[idx], step)
+                    yield from lock.release(tid)
+                # Rare global energy accumulation via CAS retry loop.
+                if step % 8 == 0:
+                    old = yield isa.read(self.global_acc)
+                    while True:
+                        won = yield isa.cas(self.global_acc, old, old + 1)
+                        if won == old:
+                            break
+                        old = won
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]

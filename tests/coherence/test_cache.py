@@ -1,0 +1,157 @@
+"""Unit + property tests for the set-associative cache arrays."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.cache import CacheLine, SetAssocCache
+from repro.coherence.states import CacheState
+
+
+def make_cache(size=4 * 1024, ways=4):
+    return SetAssocCache(size, ways)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = SetAssocCache(4096, 4, block_bytes=64)
+        assert cache.num_sets == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 4)
+        with pytest.raises(ValueError):
+            SetAssocCache(4096, 0)
+        with pytest.raises(ValueError):
+            SetAssocCache(32, 4, block_bytes=64)  # less than one set
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert make_cache().lookup(5) is None
+
+    def test_insert_then_hit(self):
+        cache = make_cache()
+        cache.insert(CacheLine(5, CacheState.SC))
+        line = cache.lookup(5)
+        assert line is not None
+        assert line.state is CacheState.SC
+
+    def test_contains(self):
+        cache = make_cache()
+        cache.insert(CacheLine(5, CacheState.UC))
+        assert 5 in cache
+        assert 6 not in cache
+
+    def test_reinsert_replaces_without_eviction(self):
+        cache = make_cache()
+        cache.insert(CacheLine(5, CacheState.SC))
+        victim = cache.insert(CacheLine(5, CacheState.UD))
+        assert victim is None
+        assert cache.lookup(5).state is CacheState.UD
+        assert len(cache) == 1
+
+    def test_remove(self):
+        cache = make_cache()
+        cache.insert(CacheLine(5, CacheState.SC))
+        removed = cache.remove(5)
+        assert removed.block == 5
+        assert cache.lookup(5) is None
+        assert cache.remove(5) is None
+
+
+class TestLru:
+    def _fill_set(self, cache, ways):
+        # blocks mapping to set 0: multiples of num_sets
+        blocks = [i * cache.num_sets for i in range(ways)]
+        for b in blocks:
+            cache.insert(CacheLine(b, CacheState.SC))
+        return blocks
+
+    def test_evicts_least_recently_used(self):
+        cache = make_cache(ways=2)
+        b0, b1 = self._fill_set(cache, 2)
+        new = 2 * cache.num_sets
+        victim = cache.insert(CacheLine(new, CacheState.SC))
+        assert victim.block == b0
+
+    def test_lookup_touch_promotes(self):
+        cache = make_cache(ways=2)
+        b0, b1 = self._fill_set(cache, 2)
+        cache.lookup(b0)  # b0 becomes MRU; b1 is now LRU
+        new = 2 * cache.num_sets
+        victim = cache.insert(CacheLine(new, CacheState.SC))
+        assert victim.block == b1
+
+    def test_lookup_without_touch_keeps_order(self):
+        cache = make_cache(ways=2)
+        b0, b1 = self._fill_set(cache, 2)
+        cache.lookup(b0, touch=False)
+        victim = cache.insert(CacheLine(2 * cache.num_sets, CacheState.SC))
+        assert victim.block == b0
+
+    def test_lru_victim_peek_matches_actual_eviction(self):
+        cache = make_cache(ways=2)
+        self._fill_set(cache, 2)
+        new = 2 * cache.num_sets
+        predicted = cache.lru_victim(new)
+        actual = cache.insert(CacheLine(new, CacheState.SC))
+        assert predicted is actual
+
+    def test_lru_victim_none_when_room_or_resident(self):
+        cache = make_cache(ways=2)
+        cache.insert(CacheLine(0, CacheState.SC))
+        assert cache.lru_victim(cache.num_sets) is None  # room in set
+        assert cache.lru_victim(0) is None  # already resident
+
+
+class TestIteration:
+    def test_lines_covers_all_sets(self):
+        cache = make_cache()
+        for b in range(10):
+            cache.insert(CacheLine(b, CacheState.SC))
+        assert sorted(line.block for line in cache.lines()) == list(range(10))
+
+    def test_len_counts_all(self):
+        cache = make_cache()
+        for b in range(7):
+            cache.insert(CacheLine(b, CacheState.SC))
+        assert len(cache) == 7
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["insert", "lookup", "remove"]),
+                              st.integers(0, 255)), max_size=200))
+def test_property_set_occupancy_never_exceeds_ways(ops):
+    """No interleaving of operations can overfill a set."""
+    cache = SetAssocCache(2048, 2)  # 16 sets, 2 ways
+    for action, block in ops:
+        if action == "insert":
+            cache.insert(CacheLine(block, CacheState.SC))
+        elif action == "lookup":
+            cache.lookup(block)
+        else:
+            cache.remove(block)
+        for line_set in cache._sets:
+            assert len(line_set) <= cache.ways
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=st.lists(st.integers(0, 63), min_size=1, max_size=120))
+def test_property_matches_reference_lru_model(blocks):
+    """The cache behaves exactly like a per-set LRU list model."""
+    ways = 2
+    cache = SetAssocCache(1024, ways)  # 8 sets
+    model = {s: [] for s in range(cache.num_sets)}
+    for block in blocks:
+        set_idx = block % cache.num_sets
+        cache.insert(CacheLine(block, CacheState.SC))
+        lru = model[set_idx]
+        if block in lru:
+            lru.remove(block)
+        elif len(lru) >= ways:
+            lru.pop(0)
+        lru.append(block)
+    for s, lru in model.items():
+        resident = sorted(line.block for line_set in [cache._sets[s]]
+                          for line in line_set.values())
+        assert resident == sorted(lru)

@@ -1,0 +1,47 @@
+"""Tests for the CHI coherence-state enum."""
+
+from repro.coherence.states import DECIDABLE_STATES, CacheState
+
+
+def test_unique_states():
+    assert CacheState.UC.is_unique
+    assert CacheState.UD.is_unique
+    assert not CacheState.SC.is_unique
+    assert not CacheState.SD.is_unique
+    assert not CacheState.I.is_unique
+
+
+def test_shared_states():
+    assert CacheState.SC.is_shared
+    assert CacheState.SD.is_shared
+    assert not CacheState.UC.is_shared
+    assert not CacheState.I.is_shared
+
+
+def test_dirty_states():
+    assert CacheState.UD.is_dirty
+    assert CacheState.SD.is_dirty
+    assert not CacheState.UC.is_dirty
+    assert not CacheState.SC.is_dirty
+    assert not CacheState.I.is_dirty
+
+
+def test_validity():
+    valid = [s for s in CacheState if s.is_valid]
+    assert CacheState.I not in valid
+    assert len(valid) == 4
+
+
+def test_decidable_states_exclude_unique():
+    assert set(DECIDABLE_STATES) == {CacheState.I, CacheState.SC,
+                                     CacheState.SD}
+    for state in DECIDABLE_STATES:
+        assert not state.is_unique
+
+
+def test_chi_names():
+    assert CacheState.UC.value == "UniqueClean"
+    assert CacheState.UD.value == "UniqueDirty"
+    assert CacheState.SC.value == "SharedClean"
+    assert CacheState.SD.value == "SharedDirty"
+    assert CacheState.I.value == "Invalid"

@@ -1,0 +1,107 @@
+"""Tests for the AMO Metadata Table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.amt import AmoMetadataTable
+
+
+class TestGeometry:
+    def test_sets(self):
+        amt = AmoMetadataTable(128, 4)
+        assert amt.num_sets == 32
+
+    def test_direct_mapped(self):
+        amt = AmoMetadataTable(16, 1)
+        assert amt.num_sets == 16
+
+    @pytest.mark.parametrize("entries,ways", [(0, 1), (4, 0), (10, 4)])
+    def test_invalid_geometry(self, entries, ways):
+        with pytest.raises(ValueError):
+            AmoMetadataTable(entries, ways)
+
+
+class TestLookupAllocate:
+    def test_miss_then_hit(self):
+        amt = AmoMetadataTable(8, 2)
+        assert amt.lookup(5) is None
+        amt.allocate(5, "meta")
+        assert amt.lookup(5) == "meta"
+        assert amt.hits == 1
+        assert amt.misses == 1
+
+    def test_peek_does_not_count(self):
+        amt = AmoMetadataTable(8, 2)
+        amt.allocate(5, "meta")
+        assert amt.peek(5) == "meta"
+        assert amt.peek(6) is None
+        assert amt.hits == 0 and amt.misses == 0
+
+    def test_reallocate_replaces(self):
+        amt = AmoMetadataTable(8, 2)
+        amt.allocate(5, "old")
+        victim = amt.allocate(5, "new")
+        assert victim is None
+        assert amt.peek(5) == "new"
+        assert len(amt) == 1
+
+    def test_contains(self):
+        amt = AmoMetadataTable(8, 2)
+        amt.allocate(3, "x")
+        assert 3 in amt and 4 not in amt
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        amt = AmoMetadataTable(8, 2)  # 4 sets, 2 ways
+        amt.allocate(0, "a")
+        amt.allocate(4, "b")  # same set as 0
+        victim = amt.allocate(8, "c")  # evicts LRU = block 0
+        assert victim == (0, "a")
+        assert amt.evictions == 1
+
+    def test_lookup_touch_protects_entry(self):
+        amt = AmoMetadataTable(8, 2)
+        amt.allocate(0, "a")
+        amt.allocate(4, "b")
+        amt.lookup(0)  # 0 is MRU now
+        victim = amt.allocate(8, "c")
+        assert victim == (4, "b")
+
+    def test_lookup_without_touch(self):
+        amt = AmoMetadataTable(8, 2)
+        amt.allocate(0, "a")
+        amt.allocate(4, "b")
+        amt.lookup(0, touch=False)
+        victim = amt.allocate(8, "c")
+        assert victim == (0, "a")
+
+
+def test_for_each_visits_all():
+    amt = AmoMetadataTable(16, 4)
+    for b in range(6):
+        amt.allocate(b, b * 10)
+    seen = {}
+    amt.for_each(lambda block, entry: seen.__setitem__(block, entry))
+    assert seen == {b: b * 10 for b in range(6)}
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(0, 127), max_size=150))
+def test_property_capacity_bounded(blocks):
+    amt = AmoMetadataTable(16, 4)
+    for b in blocks:
+        amt.allocate(b, None)
+        assert len(amt) <= 16
+    # Each set individually bounded.
+    for table_set in amt._sets:
+        assert len(table_set) <= 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(0, 63), min_size=1, max_size=80))
+def test_property_most_recent_allocation_always_resident(blocks):
+    amt = AmoMetadataTable(8, 2)
+    for b in blocks:
+        amt.allocate(b, None)
+        assert b in amt

@@ -1,0 +1,104 @@
+"""Tests for the DynAMO-Metric predictor (paper Section V-B)."""
+
+import pytest
+
+from repro.coherence.states import CacheState
+from repro.core.dynamo_metric import DynamoMetricPolicy, MetricEntry
+from repro.core.policy import Placement
+
+N, F = Placement.NEAR, Placement.FAR
+I = CacheState.I
+
+
+def test_first_prediction_is_near():
+    policy = DynamoMetricPolicy()
+    assert policy.decide(5, I, 0) is N
+
+
+def test_new_entry_counters():
+    policy = DynamoMetricPolicy()
+    policy.decide(5, I, 0)
+    entry = policy.amt.peek(5)
+    assert entry.near_count == 1
+    assert entry.inval_count == 0
+
+
+def test_low_contention_stays_near():
+    policy = DynamoMetricPolicy()
+    policy.decide(5, I, 0)
+    for _ in range(10):
+        policy.on_near_amo(5, 0)
+    assert policy.decide(5, I, 0) is N
+
+
+def test_high_contention_flips_to_far():
+    policy = DynamoMetricPolicy(threshold=1.0)
+    policy.decide(5, I, 0)
+    for _ in range(10):
+        policy.on_invalidation(5, 0)
+    assert policy.decide(5, I, 0) is F
+
+
+def test_threshold_scales_decision():
+    strict = DynamoMetricPolicy(threshold=4.0)
+    strict.decide(5, I, 0)
+    strict.on_near_amo(5, 0)   # near=2
+    strict.on_invalidation(5, 0)  # inval=1; 2 <= 4*1 -> far
+    assert strict.decide(5, I, 0) is F
+
+
+def test_events_on_untracked_blocks_ignored():
+    policy = DynamoMetricPolicy()
+    policy.on_near_amo(42, 0)
+    policy.on_invalidation(42, 0)
+    assert policy.amt.peek(42) is None
+
+
+def test_periodic_decay_halves_counters():
+    policy = DynamoMetricPolicy(decay_period=100)
+    policy.decide(5, I, 0)
+    for _ in range(8):
+        policy.on_invalidation(5, 0)
+    # Trigger decay via a decide call past the period.
+    policy.decide(6, I, 150)
+    assert policy.amt.peek(5).inval_count == 4
+
+
+def test_decay_skips_idle_stretches():
+    policy = DynamoMetricPolicy(decay_period=100)
+    policy.decide(5, I, 0)
+    policy.decide(6, I, 10_000)  # many periods later: one catch-up shift
+    assert policy._next_decay > 10_000
+
+
+def test_saturation_triggers_early_decay():
+    policy = DynamoMetricPolicy(counter_bits=4)  # max 15
+    policy.decide(5, I, 0)
+    for _ in range(20):
+        policy.on_near_amo(5, 0)
+    assert policy.amt.peek(5).near_count < 15
+
+
+def test_metric_entry_decay():
+    entry = MetricEntry()
+    entry.near_count, entry.inval_count = 9, 5
+    entry.decay()
+    assert (entry.near_count, entry.inval_count) == (4, 2)
+
+
+def test_invalid_threshold():
+    with pytest.raises(ValueError):
+        DynamoMetricPolicy(threshold=0)
+
+
+def test_behaves_like_all_near_then_unique_near():
+    """Paper: near prediction behaves like All Near, far like Unique Near
+    (same decision for all decidable states)."""
+    policy = DynamoMetricPolicy()
+    policy.decide(5, I, 0)
+    for state in (CacheState.I, CacheState.SC, CacheState.SD):
+        assert policy.decide(5, state, 0) is N
+    for _ in range(10):
+        policy.on_invalidation(5, 0)
+    for state in (CacheState.I, CacheState.SC, CacheState.SD):
+        assert policy.decide(5, state, 0) is F

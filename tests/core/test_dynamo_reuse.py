@@ -1,0 +1,154 @@
+"""Tests for the DynAMO-Reuse predictor (paper Section V-C)."""
+
+import pytest
+
+from repro.coherence.states import CacheState
+from repro.core.dynamo_reuse import (DynamoReusePolicy, dynamo_reuse_pn,
+                                     dynamo_reuse_un)
+from repro.core.policy import Placement
+
+N, F = Placement.NEAR, Placement.FAR
+SC, SD, I = CacheState.SC, CacheState.SD, CacheState.I
+
+
+def warmup_near(policy, blocks=range(100, 150)):
+    """Drive the global heuristic into a high-reuse regime."""
+    for b in blocks:
+        policy.decide(b, I, 0)
+        policy.on_block_departure(b, fetched_by_amo=True, reused=True, now=0)
+
+
+def warmup_far(policy, blocks=range(200, 250)):
+    """Drive the global heuristic into a streaming (no-reuse) regime."""
+    for b in blocks:
+        policy.decide(b, I, 0)
+        policy.on_block_departure(b, fetched_by_amo=True, reused=False, now=0)
+
+
+class TestFirstTouch:
+    def test_cold_start_predicts_near(self):
+        policy = dynamo_reuse_pn()
+        assert policy.decide(1, I, 0) is N
+
+    def test_high_reuse_history_predicts_near(self):
+        policy = dynamo_reuse_pn()
+        warmup_near(policy)
+        assert policy.decide(999, I, 0) is N
+
+    def test_streaming_history_predicts_far(self):
+        policy = dynamo_reuse_pn()
+        warmup_far(policy)
+        assert policy.decide(999, I, 0) is F
+
+    def test_streaming_history_pn_fallback_keeps_present_near(self):
+        """-PN flavour: even in a streaming regime, a block that is still
+        present (SC) executes near."""
+        policy = dynamo_reuse_pn()
+        warmup_far(policy)
+        assert policy.decide(999, SC, 0) is N
+
+    def test_streaming_history_un_fallback_goes_far_on_sc(self):
+        policy = dynamo_reuse_un()
+        warmup_far(policy)
+        assert policy.decide(999, SC, 0) is F
+
+
+class TestConfidenceLearning:
+    def test_reused_blocks_stay_near(self):
+        policy = dynamo_reuse_pn(counter_max=4)
+        policy.decide(7, I, 0)
+        for _ in range(10):
+            policy.on_block_departure(7, fetched_by_amo=True, reused=True,
+                                      now=0)
+        assert policy.decide(7, I, 0) is N
+
+    def test_unreused_blocks_decay_to_fallback(self):
+        policy = dynamo_reuse_un(counter_max=2)
+        policy.decide(7, I, 0)  # allocates at max confidence (near regime)
+        for _ in range(2):
+            policy.on_block_departure(7, fetched_by_amo=True, reused=False,
+                                      now=0)
+        assert policy.decide(7, I, 0) is F
+
+    def test_confidence_saturates_at_max(self):
+        policy = dynamo_reuse_pn(counter_max=3)
+        policy.decide(7, I, 0)
+        for _ in range(10):
+            policy.on_block_departure(7, True, True, 0)
+        entry = policy.amt.peek(7)
+        assert entry.confidence == 3
+
+    def test_confidence_floors_at_zero(self):
+        policy = dynamo_reuse_pn(counter_max=3)
+        policy.decide(7, I, 0)
+        for _ in range(10):
+            policy.on_block_departure(7, True, False, 0)
+        assert policy.amt.peek(7).confidence == 0
+
+    def test_recovery_after_reuse_returns(self):
+        policy = dynamo_reuse_un(counter_max=2)
+        policy.decide(7, I, 0)
+        for _ in range(5):
+            policy.on_block_departure(7, True, False, 0)
+        assert policy.decide(7, I, 0) is F
+        policy.on_block_departure(7, True, True, 0)
+        assert policy.decide(7, I, 0) is N
+
+    def test_far_first_touch_allocates_zero_confidence(self):
+        """Entries created by a far first decision must earn near
+        execution (see the module docstring's scaling note)."""
+        policy = dynamo_reuse_un()
+        warmup_far(policy)
+        policy.decide(999, I, 0)
+        assert policy.amt.peek(999).confidence == 0
+        assert policy.decide(999, I, 0) is F
+
+    def test_near_first_touch_allocates_max_confidence(self):
+        policy = dynamo_reuse_pn(counter_max=8)
+        policy.decide(1, I, 0)
+        assert policy.amt.peek(1).confidence == 8
+
+
+class TestGlobalHeuristic:
+    def test_non_amo_departures_ignored(self):
+        policy = dynamo_reuse_pn()
+        for _ in range(100):
+            policy.on_block_departure(5, fetched_by_amo=False, reused=False,
+                                      now=0)
+        assert policy.global_fetched == 0
+
+    def test_global_counters_decay(self):
+        policy = DynamoReusePolicy(global_decay_period=8)
+        for i in range(8):
+            policy.on_block_departure(i, True, True, 0)
+        assert policy.global_fetched == 4  # halved at the period
+        assert policy.global_reused == 4
+
+    def test_phase_change_adapts(self):
+        """A streaming phase after a reuse phase flips first-touch to far
+        once the decayed counters reflect the new regime."""
+        policy = DynamoReusePolicy(global_decay_period=64)
+        warmup_near(policy, range(0, 40))
+        assert policy.decide(500, I, 0) is N
+        warmup_far(policy, range(1000, 1200))
+        assert policy.decide(600, I, 0) is F
+
+
+class TestFlavours:
+    def test_names(self):
+        assert dynamo_reuse_un().name == "dynamo-reuse-un"
+        assert dynamo_reuse_pn().name == "dynamo-reuse-pn"
+
+    def test_sd_fallback_differs(self):
+        un, pn = dynamo_reuse_un(counter_max=1), dynamo_reuse_pn(counter_max=1)
+        for policy in (un, pn):
+            policy.decide(7, I, 0)
+            policy.on_block_departure(7, True, False, 0)
+        assert un.decide(7, SD, 0) is F
+        assert pn.decide(7, SD, 0) is N
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DynamoReusePolicy(counter_max=0)
+        with pytest.raises(ValueError):
+            DynamoReusePolicy(global_threshold=1.5)

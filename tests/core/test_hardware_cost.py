@@ -1,0 +1,57 @@
+"""Tests for the AMT hardware-cost accounting (paper Section VI-G)."""
+
+import pytest
+
+from repro.core.hardware_cost import amt_cost, l1d_area_ratio
+
+
+def test_paper_configuration_numbers():
+    """The paper's exact arithmetic: 49b tag + 5b counter + 1b reuse =
+    55 bits, rounded to 64; 1 KB storage; ~0.0196 mm^2."""
+    cost = amt_cost(entries=128, ways=4, counter_bits=5)
+    assert cost.tag_bits == 49
+    assert cost.bits_per_entry == 55
+    assert cost.rounded_bits_per_entry == 64
+    assert cost.storage_bytes == 1024
+    assert cost.area_mm2 == pytest.approx(0.0196, rel=1e-6)
+
+
+def test_l1d_ratio_matches_paper():
+    """The 64 KB L1D is ~15x larger than the AMT."""
+    cost = amt_cost(128, 4, 5)
+    ratio = l1d_area_ratio(cost)
+    assert 14.0 < ratio < 16.5
+
+
+def test_larger_tables_cost_more():
+    small = amt_cost(64, 4, 5)
+    large = amt_cost(512, 4, 5)
+    assert large.storage_bytes > small.storage_bytes
+    assert large.area_mm2 > small.area_mm2
+
+
+def test_fewer_sets_means_wider_tags():
+    wide = amt_cost(128, 128, 5)   # fully associative: 1 set
+    narrow = amt_cost(128, 1, 5)   # direct mapped: 128 sets
+    assert wide.tag_bits > narrow.tag_bits
+
+
+def test_minimum_entry_width_is_64_bits():
+    cost = amt_cost(128, 4, 1)
+    assert cost.rounded_bits_per_entry == 64
+
+
+def test_invalid_geometry():
+    with pytest.raises(ValueError):
+        amt_cost(0, 4)
+    with pytest.raises(ValueError):
+        amt_cost(10, 4)
+    with pytest.raises(ValueError):
+        amt_cost(96, 8)  # 12 sets: not a power of two
+
+
+def test_describe_mentions_key_numbers():
+    text = amt_cost(128, 4, 5).describe()
+    assert "128-entry" in text
+    assert "55b/entry" in text
+    assert "1024 B" in text

@@ -1,0 +1,63 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.core.dynamo_metric import DynamoMetricPolicy
+from repro.core.dynamo_reuse import DynamoReusePolicy
+from repro.core.policy import AmoPolicy, Placement, PolicyStats
+from repro.core.registry import (DYNAMO_POLICY_NAMES, POLICIES,
+                                 STATIC_POLICY_NAMES, make_policy)
+from repro.sim.config import DEFAULT_CONFIG
+
+
+def test_registry_has_all_eight_policies():
+    assert len(POLICIES) == 8
+    assert set(STATIC_POLICY_NAMES) | set(DYNAMO_POLICY_NAMES) == set(POLICIES)
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_every_policy_instantiates(name):
+    policy = make_policy(name, DEFAULT_CONFIG)
+    assert isinstance(policy, AmoPolicy)
+    assert policy.name == name
+
+
+def test_unknown_policy_lists_alternatives():
+    with pytest.raises(KeyError, match="all-near"):
+        make_policy("bogus", DEFAULT_CONFIG)
+
+
+def test_instances_are_independent():
+    a = make_policy("dynamo-reuse-pn", DEFAULT_CONFIG)
+    b = make_policy("dynamo-reuse-pn", DEFAULT_CONFIG)
+    assert a is not b
+    assert a.amt is not b.amt
+
+
+def test_dynamo_factories_read_config_sizing():
+    config = DEFAULT_CONFIG.replace(amt_entries=64, amt_ways=2,
+                                    amt_counter_max=8)
+    reuse = make_policy("dynamo-reuse-pn", config)
+    assert isinstance(reuse, DynamoReusePolicy)
+    assert reuse.amt.entries == 64
+    assert reuse.amt.ways == 2
+    assert reuse.counter_max == 8
+    metric = make_policy("dynamo-metric", config)
+    assert isinstance(metric, DynamoMetricPolicy)
+    assert metric.amt.entries == 64
+
+
+def test_un_and_pn_flavours_differ():
+    un = make_policy("dynamo-reuse-un", DEFAULT_CONFIG)
+    pn = make_policy("dynamo-reuse-pn", DEFAULT_CONFIG)
+    assert not un.fallback_present_near
+    assert pn.fallback_present_near
+
+
+def test_policy_stats_records():
+    stats = PolicyStats()
+    stats.record(Placement.NEAR)
+    stats.record(Placement.FAR)
+    stats.record(Placement.FAR)
+    assert stats.near_decisions == 1
+    assert stats.far_decisions == 2

@@ -1,0 +1,94 @@
+"""Tests for the static AMO policies (paper Table I)."""
+
+import pytest
+
+from repro.coherence.states import CacheState
+from repro.core.policy import Placement
+from repro.core.static_policies import (BASELINE_POLICY, STATIC_POLICIES,
+                                        StaticPolicy, all_near, dirty_near,
+                                        present_near, shared_far,
+                                        table_i_rows, unique_near)
+
+N, F = Placement.NEAR, Placement.FAR
+
+#: The exact decision matrix of paper Table I.
+TABLE_I = {
+    "all-near":     {"UC": N, "UD": N, "SC": N, "SD": N, "I": N},
+    "unique-near":  {"UC": N, "UD": N, "SC": F, "SD": F, "I": F},
+    "present-near": {"UC": N, "UD": N, "SC": N, "SD": N, "I": F},
+    "dirty-near":   {"UC": N, "UD": N, "SC": F, "SD": N, "I": F},
+    "shared-far":   {"UC": N, "UD": N, "SC": F, "SD": F, "I": N},
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_I))
+def test_decision_matrix_matches_table_i(name):
+    policy = STATIC_POLICIES[name]()
+    for state in CacheState:
+        expected = TABLE_I[name][state.name]
+        assert policy.decide(0, state, now=0) is expected, (
+            f"{name} on {state.name}")
+
+
+def test_registry_contains_exactly_five():
+    assert sorted(STATIC_POLICIES) == sorted(TABLE_I)
+
+
+def test_baseline_is_all_near():
+    assert BASELINE_POLICY == "all-near"
+    assert STATIC_POLICIES[BASELINE_POLICY] is all_near
+
+
+def test_existing_vs_proposed_split():
+    assert all_near().existing
+    assert unique_near().existing
+    assert not present_near().existing
+    assert not dirty_near().existing
+    assert not shared_far().existing
+
+
+def test_decisions_ignore_block_and_time():
+    policy = present_near()
+    assert policy.decide(1, CacheState.SC, 0) is \
+        policy.decide(99, CacheState.SC, 10**9)
+
+
+def test_unique_states_always_near():
+    """No implementable policy issues far AMOs on Unique blocks — that is
+    the pathological case of Section II-B."""
+    for ctor in STATIC_POLICIES.values():
+        policy = ctor()
+        assert policy.decide(0, CacheState.UC, 0) is N
+        assert policy.decide(0, CacheState.UD, 0) is N
+
+
+def test_constructor_rejects_far_on_unique():
+    table = {s: N for s in CacheState}
+    table[CacheState.UC] = F
+    with pytest.raises(ValueError):
+        StaticPolicy("bad", table, existing=False)
+
+
+def test_constructor_rejects_missing_states():
+    with pytest.raises(ValueError):
+        StaticPolicy("partial", {CacheState.UC: N}, existing=False)
+
+
+def test_table_i_rows_render():
+    rows = table_i_rows()
+    assert len(rows) == 5
+    names = [name for name, _origin, _d in rows]
+    assert names[0] == "all-near"  # Table I order
+    for name, origin, decisions in rows:
+        assert origin in ("Existing", "Proposed")
+        for state_name, mark in decisions.items():
+            expected = "N" if TABLE_I[name][state_name] is N else "F"
+            assert mark == expected
+
+
+def test_events_are_noops_for_static_policies():
+    policy = all_near()
+    policy.on_near_amo(1, 0)
+    policy.on_invalidation(1, 0)
+    policy.on_block_departure(1, True, False, 0)
+    assert policy.decide(1, CacheState.I, 0) is N

@@ -1,0 +1,66 @@
+"""Tests for the dynamic-energy model."""
+
+import pytest
+
+from repro.energy.model import (DEFAULT_ENERGY, EnergyParams, attach_energy,
+                                energy_breakdown)
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import run
+from repro.sim.machine import Machine
+
+
+def run_counter(policy, iters=200):
+    machine = Machine(TINY_CONFIG, policy)
+
+    def body(core):
+        for _ in range(iters):
+            yield isa.think(5)
+            yield isa.stadd(0x8000, 1)
+
+    result = run(machine, [GeneratorProgram(body) for _ in range(4)])
+    return attach_energy(result, num_cores=4)
+
+
+def test_breakdown_components():
+    result = run_counter("all-near")
+    assert set(result.energy) == {"core", "cache", "noc", "dram"}
+    assert all(v >= 0 for v in result.energy.values())
+    assert result.total_energy > 0
+
+
+def test_attach_fills_result_in_place():
+    result = run_counter("all-near")
+    assert result.energy == energy_breakdown(result, num_cores=4)
+
+
+def test_noc_energy_tracks_traffic():
+    result = run_counter("all-near")
+    expected = result.traffic.flit_hops * DEFAULT_ENERGY.noc_per_flit_hop
+    assert result.energy["noc"] == pytest.approx(expected)
+
+
+def test_core_energy_tracks_cycles():
+    result = run_counter("all-near")
+    expected = result.cycles / 1000 * DEFAULT_ENERGY.core_per_kilocycle * 4
+    assert result.energy["core"] == pytest.approx(expected)
+
+
+def test_custom_params_scale():
+    result = run_counter("all-near")
+    double = EnergyParams(dram_access=DEFAULT_ENERGY.dram_access * 2)
+    base = energy_breakdown(result, num_cores=4)
+    scaled = energy_breakdown(result, double, num_cores=4)
+    assert scaled["dram"] == pytest.approx(2 * base["dram"])
+    assert scaled["noc"] == pytest.approx(base["noc"])
+
+
+def test_faster_contended_policy_saves_energy():
+    """On the contended counter, the far policy finishes sooner and its
+    core+cache energy drops with it (the paper's Section VI-E finding
+    that savings track performance)."""
+    near = run_counter("all-near")
+    far = run_counter("unique-near")
+    assert far.cycles < near.cycles
+    assert far.energy["core"] < near.energy["core"]

@@ -1,0 +1,120 @@
+"""Unit tests for the memory-op ISA."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend import isa
+from repro.frontend.isa import AmoKind, MemOp, OpType, apply_amo, block_of
+
+
+class TestConstructors:
+    def test_read(self):
+        op = isa.read(0x1000)
+        assert op.type is OpType.READ
+        assert op.addr == 0x1000
+        assert not op.is_amo
+
+    def test_write_carries_value(self):
+        op = isa.write(0x40, 7)
+        assert op.type is OpType.WRITE
+        assert op.value == 7
+
+    def test_think_defaults_one_instruction_per_cycle(self):
+        op = isa.think(100)
+        assert op.cycles == 100
+        assert op.instructions == 100
+
+    def test_think_explicit_instructions(self):
+        op = isa.think(100, instructions=12)
+        assert op.instructions == 12
+
+    def test_think_minimum_one_instruction(self):
+        assert isa.think(0).instructions == 1
+
+    def test_ldadd_is_amo_load(self):
+        op = isa.ldadd(0x80, 3)
+        assert op.type is OpType.AMO_LOAD
+        assert op.amo is AmoKind.ADD
+        assert op.is_amo
+
+    def test_stadd_is_amo_store(self):
+        op = isa.stadd(0x80, 3)
+        assert op.type is OpType.AMO_STORE
+        assert op.amo is AmoKind.ADD
+
+    def test_ldmin_stmin_kinds(self):
+        assert isa.ldmin(0, 1).amo is AmoKind.MIN
+        assert isa.stmin(0, 1).amo is AmoKind.MIN
+        assert isa.ldmin(0, 1).type is OpType.AMO_LOAD
+        assert isa.stmin(0, 1).type is OpType.AMO_STORE
+
+    def test_ldmax(self):
+        op = isa.ldmax(0, 9)
+        assert op.amo is AmoKind.MAX
+        assert op.type is OpType.AMO_LOAD
+
+    def test_swap_returns_old_value_semantics(self):
+        op = isa.swap(0, 5)
+        assert op.type is OpType.AMO_LOAD
+        assert op.amo is AmoKind.SWAP
+
+    def test_stswp_is_store_type(self):
+        op = isa.stswp(0, 5)
+        assert op.type is OpType.AMO_STORE
+        assert op.amo is AmoKind.SWAP
+
+    def test_cas_fields(self):
+        op = isa.cas(0x100, expected=3, new=4)
+        assert op.type is OpType.AMO_LOAD
+        assert op.amo is AmoKind.CAS
+        assert op.expected == 3
+        assert op.value == 4
+
+
+class TestBlockMapping:
+    def test_block_of_rounds_down(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(130) == 2
+
+    def test_memop_block_property(self):
+        assert isa.read(0x87).block == block_of(0x87)
+
+
+class TestApplyAmo:
+    @pytest.mark.parametrize("kind,old,operand,expected", [
+        (AmoKind.ADD, 5, 3, 8),
+        (AmoKind.ADD, 5, -2, 3),
+        (AmoKind.AND, 0b1100, 0b1010, 0b1000),
+        (AmoKind.OR, 0b1100, 0b1010, 0b1110),
+        (AmoKind.XOR, 0b1100, 0b1010, 0b0110),
+        (AmoKind.MIN, 5, 3, 3),
+        (AmoKind.MIN, 3, 5, 3),
+        (AmoKind.MAX, 5, 3, 5),
+        (AmoKind.MAX, 3, 5, 5),
+        (AmoKind.SWAP, 5, 9, 9),
+    ])
+    def test_arithmetic(self, kind, old, operand, expected):
+        assert apply_amo(kind, old, operand) == expected
+
+    def test_cas_success_stores_new(self):
+        assert apply_amo(AmoKind.CAS, 3, 7, expected=3) == 7
+
+    def test_cas_failure_keeps_old(self):
+        assert apply_amo(AmoKind.CAS, 4, 7, expected=3) == 4
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            apply_amo("nonsense", 0, 0)
+
+    @given(st.integers(-2**40, 2**40), st.integers(-2**40, 2**40))
+    def test_min_max_consistent(self, a, b):
+        assert apply_amo(AmoKind.MIN, a, b) <= apply_amo(AmoKind.MAX, a, b)
+        assert apply_amo(AmoKind.MIN, a, b) in (a, b)
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32),
+           st.integers(0, 2**32))
+    def test_cas_is_conditional_swap(self, old, expected, new):
+        result = apply_amo(AmoKind.CAS, old, new, expected=expected)
+        assert result == (new if old == expected else old)

@@ -1,0 +1,71 @@
+"""Tests for reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.harness.report import (format_series, format_table, geomean,
+                                  set_geomeans, set_members)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_identity(self):
+        assert geomean([1.0] * 10) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_less_than_arithmetic_mean(self):
+        values = [1.0, 2.0, 9.0]
+        assert geomean(values) < sum(values) / 3
+
+
+class TestSets:
+    CLASSES = {"a": "L", "b": "M", "c": "H", "d": "H"}
+
+    def test_set_members(self):
+        assert set_members(self.CLASSES, "H") == ["c", "d"]
+        assert set_members(self.CLASSES, "MH") == ["b", "c", "d"]
+        assert set_members(self.CLASSES, "LMH") == ["a", "b", "c", "d"]
+
+    def test_set_geomeans(self):
+        speedups = {"a": 1.0, "b": 2.0, "c": 4.0, "d": 4.0}
+        gm = set_geomeans(speedups, self.CLASSES)
+        assert gm["H"] == pytest.approx(4.0)
+        assert gm["MH"] == pytest.approx(geomean([2, 4, 4]))
+        assert gm["LMH"] == pytest.approx(geomean([1, 2, 4, 4]))
+
+    def test_empty_set_is_nan(self):
+        gm = set_geomeans({"a": 1.0}, {"a": "L"})
+        assert math.isnan(gm["H"])
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(["name", "value"], [["x", 1.5], ["long", 2.0]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines
+                    if "|" in line}) == 1  # aligned separator
+
+    def test_table_title(self):
+        text = format_table(["a"], [[1]], title="TITLE")
+        assert text.splitlines()[0] == "TITLE"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456], [123.456]])
+        assert "1.235" in text
+        assert "123.5" in text
+
+    def test_series(self):
+        assert format_series("s", [1, 2], [0.5, 1.5]) == "s: 1=0.500 2=1.500"

@@ -1,0 +1,71 @@
+"""Tests for address interleaving and the HBM channel model."""
+
+import pytest
+
+from repro.frontend.isa import BLOCK_SIZE
+from repro.mem.address import AddressMap
+from repro.mem.hbm import HbmChannel, HbmMemory
+
+
+class TestAddressMap:
+    def test_slice_striding(self):
+        amap = AddressMap(num_slices=4, num_channels=2)
+        assert [amap.slice_of_block(b) for b in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_slice_of_addr_uses_block(self):
+        amap = AddressMap(4, 2)
+        assert amap.slice_of_addr(0) == amap.slice_of_addr(BLOCK_SIZE - 1)
+        assert amap.slice_of_addr(BLOCK_SIZE) == 1
+
+    def test_channel_striding_independent_of_slice(self):
+        amap = AddressMap(4, 2)
+        channels = {amap.channel_of_block(b) for b in range(16)}
+        assert channels == {0, 1}
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            AddressMap(0, 1)
+        with pytest.raises(ValueError):
+            AddressMap(1, 0)
+
+
+class TestHbm:
+    def test_fixed_latency_when_idle(self):
+        ch = HbmChannel(access_latency=100, service_cycles=2)
+        assert ch.access(50) == 150
+
+    def test_bandwidth_queueing(self):
+        ch = HbmChannel(access_latency=100, service_cycles=10)
+        first = ch.access(0)
+        second = ch.access(0)  # queued behind the first transfer
+        assert first == 100
+        assert second == 110
+
+    def test_idle_gap_resets_queue(self):
+        ch = HbmChannel(100, 10)
+        ch.access(0)
+        assert ch.access(1000) == 1100
+
+    def test_access_counter(self):
+        ch = HbmChannel(100, 2)
+        ch.access(0)
+        ch.access(0)
+        assert ch.accesses == 2
+
+    def test_memory_channels_independent(self):
+        mem = HbmMemory(2, access_latency=100, service_cycles=10)
+        a = mem.access(0, 0)
+        b = mem.access(1, 0)
+        assert a == b == 100  # different channels do not queue
+
+    def test_total_accesses(self):
+        mem = HbmMemory(2, 100, 2)
+        mem.access(0, 0)
+        mem.access(1, 0)
+        mem.access(0, 5)
+        assert mem.total_accesses == 3
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            HbmMemory(0, 100, 2)

@@ -1,0 +1,91 @@
+"""Tests for the 2D-mesh NoC model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.mesh import Mesh, mesh_dims
+
+
+class TestMeshDims:
+    @pytest.mark.parametrize("tiles,expected", [
+        (64, (8, 8)), (32, (6, 6)), (16, (4, 4)), (1, (1, 1)), (8, (3, 3)),
+    ])
+    def test_near_square(self, tiles, expected):
+        assert mesh_dims(tiles) == expected
+
+    def test_capacity_sufficient(self):
+        for tiles in range(1, 130):
+            cols, rows = mesh_dims(tiles)
+            assert cols * rows >= tiles
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            mesh_dims(0)
+
+
+class TestMesh:
+    def test_paper_system_is_8x8(self):
+        mesh = Mesh(32, 32)
+        assert (mesh.cols, mesh.rows) == (8, 8)
+
+    def test_tiles_distinct(self):
+        mesh = Mesh(16, 16)
+        tiles = ([mesh.core_tile(c) for c in range(16)]
+                 + [mesh.slice_tile(s) for s in range(16)])
+        assert len(set(tiles)) == 32
+
+    def test_latency_symmetric(self):
+        mesh = Mesh(16, 16)
+        for c in range(16):
+            for s in range(16):
+                assert mesh.core_to_slice(c, s) == mesh.slice_to_core(s, c)
+
+    def test_zero_hop_latency_is_one_router(self):
+        mesh = Mesh(4, 4, router_latency=1, link_latency=1)
+        tile = mesh.core_tile(0)
+        assert mesh.latency(tile, tile) == 1
+
+    def test_latency_grows_with_hops(self):
+        mesh = Mesh(16, 16)
+        a = mesh.core_tile(0)
+        lat = [mesh.latency(a, mesh.slice_tile(s)) for s in range(16)]
+        hops = [mesh.hops(a, mesh.slice_tile(s)) for s in range(16)]
+        order = sorted(range(16), key=lambda s: hops[s])
+        for earlier, later in zip(order, order[1:]):
+            assert lat[earlier] <= lat[later]
+
+    def test_hop_cost_parameters(self):
+        cheap = Mesh(4, 4, router_latency=0, link_latency=1)
+        costly = Mesh(4, 4, router_latency=2, link_latency=1)
+        a, b = cheap.core_tile(0), cheap.slice_tile(3)
+        hops = cheap.hops(a, b)
+        assert cheap.latency(a, b) == hops * 1 + 0
+        assert costly.latency(a, b) == hops * 3 + 2
+
+    def test_hops_manhattan(self):
+        assert Mesh.hops((0, 0), (3, 4)) == 7
+        assert Mesh.hops((2, 2), (2, 2)) == 0
+
+    def test_core_to_core(self):
+        mesh = Mesh(8, 8)
+        assert mesh.core_to_core(0, 0) == mesh.router_latency
+        assert mesh.core_to_core(0, 7) == mesh.core_to_core(7, 0)
+
+    def test_average_latency_positive(self):
+        mesh = Mesh(16, 16)
+        avg = mesh.average_core_slice_latency()
+        assert avg > 0
+        lats = [mesh.core_to_slice(c, s)
+                for c in range(16) for s in range(16)]
+        assert min(lats) <= avg <= max(lats)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+        with pytest.raises(ValueError):
+            Mesh(4, 0)
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_any_size_constructs(self, cores, slices):
+        mesh = Mesh(cores, slices)
+        assert mesh.core_to_slice(0, 0) >= mesh.router_latency

@@ -1,0 +1,78 @@
+"""Tests for the system configuration (paper Table II)."""
+
+import pytest
+
+from repro.sim.config import (DEFAULT_CONFIG, PAPER_CONFIG, TINY_CONFIG,
+                              SystemConfig)
+
+
+class TestTableII:
+    def test_paper_defaults(self):
+        cfg = PAPER_CONFIG
+        assert cfg.num_cores == 32
+        assert cfg.l1_size == 64 * 1024 and cfg.l1_ways == 4
+        assert cfg.l1_latency == 2
+        assert cfg.l2_size == 512 * 1024 and cfg.l2_latency == 8
+        assert cfg.llc_slices == 32
+        assert cfg.llc_slice_size == 1024 * 1024 and cfg.llc_ways == 8
+        assert cfg.llc_latency == 10
+        assert cfg.router_latency == 1 and cfg.link_latency == 1
+        assert cfg.mem_channels == 8
+        assert cfg.store_buffer_entries == 58
+
+    def test_amt_defaults_match_section_vi_f(self):
+        assert PAPER_CONFIG.amt_entries == 128
+        assert PAPER_CONFIG.amt_ways == 4
+        assert PAPER_CONFIG.amt_counter_max == 32
+
+    def test_llc_total_size(self):
+        assert PAPER_CONFIG.llc_size == 32 * 1024 * 1024
+
+    def test_describe_covers_table_ii_rows(self):
+        desc = PAPER_CONFIG.describe()
+        assert "32 out-of-order cores" in desc["Core count"]
+        assert "64 KiB" in desc["Private L1D cache"]
+        assert "128 entries, 4-way" in desc["DynAMO"]
+        assert "CHI" in desc["Coherence protocol"]
+
+
+class TestScaling:
+    def test_scaled_preserves_latencies(self):
+        small = PAPER_CONFIG.scaled(8)
+        assert small.num_cores == 8
+        assert small.llc_slices == 8
+        assert small.l1_latency == PAPER_CONFIG.l1_latency
+        assert small.llc_latency == PAPER_CONFIG.llc_latency
+        assert small.mem_latency == PAPER_CONFIG.mem_latency
+
+    def test_scaled_channels_floor_one(self):
+        assert PAPER_CONFIG.scaled(1).mem_channels == 1
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.scaled(0)
+
+    def test_default_config_is_16_cores(self):
+        assert DEFAULT_CONFIG.num_cores == 16
+        assert DEFAULT_CONFIG.l1_size == 16 * 1024
+
+    def test_tiny_config_small(self):
+        assert TINY_CONFIG.num_cores == 4
+        assert TINY_CONFIG.l1_size == 4 * 1024
+
+
+class TestReplace:
+    def test_replace_returns_new_frozen_instance(self):
+        changed = PAPER_CONFIG.replace(mem_latency=50)
+        assert changed.mem_latency == 50
+        assert PAPER_CONFIG.mem_latency == 100
+        with pytest.raises(Exception):
+            changed.mem_latency = 1  # frozen dataclass
+
+    def test_validation_on_construction(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            SystemConfig(llc_slices=0)
+        with pytest.raises(ValueError):
+            SystemConfig(amt_entries=2, amt_ways=4)

@@ -1,0 +1,146 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.frontend import isa
+from repro.frontend.program import EmptyProgram, GeneratorProgram
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import SimulationTimeout, run
+from repro.sim.machine import Machine
+
+
+def prog(fn):
+    return GeneratorProgram(fn)
+
+
+def test_empty_program_finishes_immediately():
+    machine = Machine(TINY_CONFIG)
+    result = run(machine, [EmptyProgram()])
+    assert result.cycles == 0
+    assert result.instructions == 0
+
+
+def test_single_core_sequential_ops():
+    machine = Machine(TINY_CONFIG)
+
+    def body(core):
+        yield isa.think(10)
+        yield isa.write(0x80, 5)
+        value = yield isa.read(0x80)
+        assert value == 5
+
+    result = run(machine, [prog(body)])
+    assert result.cycles > 10
+    assert result.instructions == 12  # 10 think + write + read
+
+
+def test_too_many_programs_rejected():
+    machine = Machine(TINY_CONFIG)
+    with pytest.raises(ValueError):
+        run(machine, [EmptyProgram()] * (TINY_CONFIG.num_cores + 1))
+
+
+def test_timeout_raises():
+    machine = Machine(TINY_CONFIG)
+
+    def spin_forever(core):
+        while True:
+            yield isa.think(100)
+
+    with pytest.raises(SimulationTimeout):
+        run(machine, [prog(spin_forever)], max_cycles=10_000)
+
+
+def test_amo_counting():
+    machine = Machine(TINY_CONFIG)
+
+    def body(core):
+        yield isa.stadd(0x80, 1)
+        yield isa.ldadd(0x80, 1)
+        yield isa.read(0x80)
+
+    result = run(machine, [prog(body), prog(body)])
+    assert result.amos_committed == 4
+    assert result.stats.amo_stores == 2
+    assert result.stats.amo_loads == 2
+
+
+def test_per_core_finish_times():
+    machine = Machine(TINY_CONFIG)
+
+    def short(core):
+        yield isa.think(10)
+
+    def long(core):
+        yield isa.think(5000)
+
+    result = run(machine, [prog(short), prog(long)])
+    assert result.per_core_finish[0] < result.per_core_finish[1]
+    assert result.cycles == result.per_core_finish[1]
+
+
+def test_deferred_read_sees_release():
+    """A spinning reader observes a value only once the writing core's
+    store has been applied — the deferred-read binding rule."""
+    machine = Machine(TINY_CONFIG)
+    observations = []
+
+    def writer(core):
+        yield isa.think(500)
+        yield isa.write(0x80, 1)
+
+    def spinner(core):
+        while True:
+            value = yield isa.read(0x80)
+            if value == 1:
+                observations.append("saw release")
+                return
+            yield isa.think(50)
+
+    run(machine, [prog(writer), prog(spinner)])
+    assert observations == ["saw release"]
+
+
+def test_values_flow_between_cores():
+    machine = Machine(TINY_CONFIG)
+    log = []
+
+    def producer(core):
+        yield isa.write(0x80, 123)
+        yield isa.write(0x100, 1)  # flag
+
+    def consumer(core):
+        while True:
+            flag = yield isa.read(0x100)
+            if flag:
+                break
+            yield isa.think(20)
+        value = yield isa.read(0x80)
+        log.append(value)
+
+    run(machine, [prog(producer), prog(consumer)])
+    assert log == [123]
+
+
+def test_result_metrics():
+    machine = Machine(TINY_CONFIG)
+
+    def body(core):
+        yield isa.think(1000)
+        yield isa.stadd(0x80, 1)
+
+    result = run(machine, [prog(body)])
+    assert result.apki == pytest.approx(1000 * 1 / 1001, rel=1e-3)
+    assert result.policy == "all-near"
+    assert result.avg_amo_latency > 0
+
+
+def test_idle_cores_allowed():
+    """Fewer programs than cores: remaining cores idle."""
+    machine = Machine(TINY_CONFIG)
+
+    def body(core):
+        yield isa.think(10)
+
+    result = run(machine, [prog(body)])
+    assert len(result.per_core_finish) == 1

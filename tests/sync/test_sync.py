@@ -1,0 +1,183 @@
+"""Tests for the synchronization substrate: mutex, spinlock, barrier."""
+
+import random
+
+import pytest
+
+from repro.frontend import isa
+from repro.frontend.isa import AmoKind, OpType
+from repro.frontend.program import GeneratorProgram
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import run
+from repro.sim.machine import Machine
+from repro.sync.barrier import SenseBarrier
+from repro.sync.mutex import PthreadMutex, critical_section
+from repro.sync.spinlock import SpinLock
+
+
+def drain(gen, results=None):
+    """Run a sync generator standalone, feeding scripted results."""
+    ops = []
+    results = list(results or [])
+    try:
+        op = gen.send(None)
+        while True:
+            ops.append(op)
+            result = results.pop(0) if results else 0
+            op = gen.send(result)
+    except StopIteration:
+        return ops
+
+
+class TestMutexLayout:
+    def test_fields_share_one_cache_block(self):
+        """Fig. 4: Lock, Owner, Kind, NUsers all in one block."""
+        mutex = PthreadMutex(0x1000)
+        blocks = {mutex.lock_addr >> 6, mutex.owner_addr >> 6,
+                  mutex.kind_addr >> 6, mutex.nusers_addr >> 6}
+        assert len(blocks) == 1
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            PthreadMutex(0x1008)
+
+    def test_uncontended_acquire_sequence(self):
+        """Fig. 4 acquire: read Kind, CAS Lock, write Owner, write NUsers."""
+        mutex = PthreadMutex(0x1000)
+        ops = drain(mutex.acquire(tid=3), results=[0, 0])
+        kinds = [(op.type, op.addr) for op in ops]
+        assert kinds[0] == (OpType.READ, mutex.kind_addr)
+        assert ops[1].type is OpType.AMO_LOAD and ops[1].amo is AmoKind.CAS
+        assert kinds[2] == (OpType.WRITE, mutex.owner_addr)
+        assert kinds[3] == (OpType.WRITE, mutex.nusers_addr)
+
+    def test_release_sequence_ends_with_swap(self):
+        """Fig. 4 release: read Kind, write NUsers, write Owner, SWAP."""
+        mutex = PthreadMutex(0x1000)
+        ops = drain(mutex.release(tid=3))
+        assert ops[0].addr == mutex.kind_addr
+        assert ops[1].addr == mutex.nusers_addr
+        assert ops[2].addr == mutex.owner_addr
+        assert ops[3].amo is AmoKind.SWAP
+
+
+class TestMutualExclusion:
+    def _run_counter(self, lock_factory, acquire, release, threads=4,
+                     iters=60):
+        machine = Machine(TINY_CONFIG, "all-near")
+        shared = 0x8000
+        trace = []
+
+        def body(tid):
+            rng = random.Random(tid)
+            for _ in range(iters):
+                yield from acquire(tid, rng)
+                value = yield isa.read(shared)
+                yield isa.think(rng.randrange(1, 10))
+                yield isa.write(shared, value + 1)
+                trace.append(value)
+                yield from release(tid)
+
+        run(machine, [GeneratorProgram(body) for _ in range(threads)],
+            max_cycles=500_000_000)
+        return machine.read_value(shared), threads * iters
+
+    def test_pthread_mutex_protects_read_modify_write(self):
+        mutex = PthreadMutex(0x1000)
+        final, expected = self._run_counter(
+            None,
+            acquire=lambda tid, rng: mutex.acquire(tid, rng=rng),
+            release=lambda tid: mutex.release(tid))
+        assert final == expected
+
+    def test_spinlock_protects_read_modify_write(self):
+        lock = SpinLock(0x1000)
+        final, expected = self._run_counter(
+            None,
+            acquire=lambda tid, rng: lock.acquire(tid, rng=rng),
+            release=lambda tid: lock.release(tid))
+        assert final == expected
+
+    def test_swap_release_spinlock(self):
+        lock = SpinLock(0x1000, swap_release=True, test_first=True)
+        final, expected = self._run_counter(
+            None,
+            acquire=lambda tid, rng: lock.acquire(tid, rng=rng),
+            release=lambda tid: lock.release(tid))
+        assert final == expected
+
+    def test_mutex_exclusion_under_far_policy(self):
+        machine = Machine(TINY_CONFIG, "unique-near")
+        mutex = PthreadMutex(0x1000)
+        shared = 0x8000
+
+        def body(tid):
+            for _ in range(50):
+                yield from mutex.acquire(tid)
+                value = yield isa.read(shared)
+                yield isa.write(shared, value + 1)
+                yield from mutex.release(tid)
+
+        run(machine, [GeneratorProgram(body) for _ in range(4)],
+            max_cycles=500_000_000)
+        assert machine.read_value(shared) == 200
+
+
+class TestCriticalSection:
+    def test_helper_wraps_body(self):
+        machine = Machine(TINY_CONFIG)
+        mutex = PthreadMutex(0x1000)
+
+        def body(tid):
+            def inner():
+                yield isa.write(0x8000, tid + 1)
+            yield from critical_section(mutex, tid, inner())
+
+        run(machine, [GeneratorProgram(body)])
+        assert machine.read_value(0x8000) == 1
+        assert machine.read_value(mutex.lock_addr) == 0  # released
+
+
+class TestBarrier:
+    def test_alignment_and_size_validation(self):
+        with pytest.raises(ValueError):
+            SenseBarrier(0x1008, 4)
+        with pytest.raises(ValueError):
+            SenseBarrier(0x1000, 0)
+
+    def test_all_threads_cross_together(self):
+        machine = Machine(TINY_CONFIG)
+        barrier = SenseBarrier(0x1000, 4)
+        phase_log = []
+
+        def body(tid):
+            for phase in range(3):
+                yield isa.think(10 * (tid + 1))  # staggered arrivals
+                phase_log.append((phase, tid, "arrive"))
+                yield from barrier.wait(tid)
+                phase_log.append((phase, tid, "leave"))
+
+        run(machine, [GeneratorProgram(body) for _ in range(4)],
+            max_cycles=100_000_000)
+        # Within each phase, every arrival precedes every leave.
+        for phase in range(3):
+            events = [e for e in phase_log if e[0] == phase]
+            last_arrive = max(i for i, e in enumerate(events)
+                              if e[2] == "arrive")
+            first_leave = min(i for i, e in enumerate(events)
+                              if e[2] == "leave")
+            assert last_arrive < first_leave
+
+    def test_barrier_reusable_many_episodes(self):
+        machine = Machine(TINY_CONFIG)
+        barrier = SenseBarrier(0x1000, 3)
+        counter = 0x8000
+
+        def body(tid):
+            for _ in range(10):
+                yield isa.stadd(counter, 1)
+                yield from barrier.wait(tid)
+
+        run(machine, [GeneratorProgram(body) for _ in range(3)],
+            max_cycles=100_000_000)
+        assert machine.read_value(counter) == 30

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "HIST" in out and "dynamo-reuse-pn" in out
+
+
+def test_table_command(capsys):
+    assert main(["table", "1"]) == 0
+    assert "present-near" in capsys.readouterr().out
+
+
+def test_cost_command(capsys):
+    assert main(["cost"]) == 0
+    out = capsys.readouterr().out
+    assert "55b/entry" in out
+    assert "larger than this AMT" in out
+
+
+def test_cost_custom_geometry(capsys):
+    assert main(["cost", "--entries", "64", "--ways", "2"]) == 0
+    assert "64-entry" in capsys.readouterr().out
+
+
+def test_run_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "RAY", "--threads", "4", "--scale", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "policy=all-near" in out
+    assert "energy breakdown" in out
+
+
+def test_run_with_policy_and_input(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["run", "HIST", "--policy", "unique-near",
+                 "--input", "BMP24", "--threads", "4",
+                 "--scale", "0.15"]) == 0
+    assert "policy=unique-near" in capsys.readouterr().out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "NOPE"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "99"])

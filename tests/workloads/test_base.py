@@ -1,0 +1,92 @@
+"""Tests for the workload framework."""
+
+import pytest
+
+from repro.workloads import TABLE_III_CODES, WORKLOADS
+from repro.workloads.base import (AddressAllocator, classify_apki,
+                                  codes_by_intensity, make_workload)
+
+
+class TestAddressAllocator:
+    def test_block_alignment(self):
+        alloc = AddressAllocator()
+        for _ in range(20):
+            assert alloc.alloc(24) % 64 == 0
+
+    def test_regions_disjoint(self):
+        alloc = AddressAllocator()
+        a = alloc.alloc(100)
+        b = alloc.alloc(100)
+        assert b >= a + 100
+
+    def test_alloc_array_strides(self):
+        alloc = AddressAllocator()
+        addrs = alloc.alloc_array(5, 64)
+        assert [addrs[i + 1] - addrs[i] for i in range(4)] == [64] * 4
+
+    def test_custom_alignment(self):
+        alloc = AddressAllocator()
+        assert alloc.alloc(10, align=4096) % 4096 == 0
+
+    def test_invalid_requests(self):
+        alloc = AddressAllocator()
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+        with pytest.raises(ValueError):
+            alloc.alloc(10, align=3)
+
+    def test_bytes_used_tracks(self):
+        alloc = AddressAllocator()
+        alloc.alloc(64)
+        alloc.alloc(64)
+        assert alloc.bytes_used >= 128
+
+
+class TestClassification:
+    @pytest.mark.parametrize("apki,expected", [
+        (0.0, "L"), (1.99, "L"), (2.0, "M"), (7.99, "M"),
+        (8.0, "H"), (100.0, "H"),
+    ])
+    def test_boundaries(self, apki, expected):
+        assert classify_apki(apki) == expected
+
+    def test_intensity_sets_cover_all_workloads(self):
+        all_codes = set(codes_by_intensity("L") + codes_by_intensity("M")
+                        + codes_by_intensity("H"))
+        assert set(TABLE_III_CODES) <= all_codes
+
+
+class TestRegistry:
+    def test_table_iii_complete(self):
+        assert len(TABLE_III_CODES) == 21
+        for code in TABLE_III_CODES:
+            assert code in WORKLOADS
+
+    def test_make_workload_unknown_code(self):
+        with pytest.raises(KeyError, match="HIST"):
+            make_workload("NOPE", 4)
+
+    def test_make_workload_validates_threads(self):
+        with pytest.raises(ValueError):
+            make_workload("HIST", 0)
+
+    def test_make_workload_validates_scale(self):
+        with pytest.raises(ValueError):
+            make_workload("HIST", 4, scale=0)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            make_workload("HIST", 4, input_name="JPEG2000")
+        wl = make_workload("HIST", 4, input_name="BMP24")
+        assert wl.input_name == "BMP24"
+
+    def test_default_input_from_spec(self):
+        wl = make_workload("SPMV", 4)
+        assert wl.input_name == "JP"
+
+    def test_specs_have_required_fields(self):
+        for code, cls in WORKLOADS.items():
+            spec = cls.spec
+            assert spec.code == code
+            assert spec.name and spec.suite and spec.primitives
+            assert spec.intensity in ("L", "M", "H")

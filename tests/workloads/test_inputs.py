@@ -1,0 +1,102 @@
+"""Tests for the synthetic input generators."""
+
+import pytest
+
+from repro.workloads import inputs
+
+
+class TestRoadGraph:
+    def test_deterministic(self):
+        assert inputs.road_graph(100, seed=3) == inputs.road_graph(100, seed=3)
+
+    def test_seed_changes_graph(self):
+        assert inputs.road_graph(100, seed=1) != inputs.road_graph(100, seed=2)
+
+    def test_low_degree(self):
+        adj = inputs.road_graph(400, seed=0)
+        degrees = [len(n) for n in adj]
+        assert max(degrees) <= 10  # grid + shortcuts stays low-degree
+        assert sum(degrees) / len(degrees) < 5.5
+
+    def test_weights_positive(self):
+        adj = inputs.road_graph(100, seed=0)
+        assert all(w > 0 for nbrs in adj for _v, w in nbrs)
+
+    def test_edges_symmetric(self):
+        adj = inputs.road_graph(64, seed=0)
+        for u, nbrs in enumerate(adj):
+            for v, w in nbrs:
+                assert (u, w) in [(x, ww) for x, ww in adj[v]]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            inputs.road_graph(0)
+
+
+class TestKronecker:
+    def test_deterministic(self):
+        assert inputs.kronecker_graph(128, seed=5) == \
+            inputs.kronecker_graph(128, seed=5)
+
+    def test_heavy_tail(self):
+        """A few hub nodes collect a disproportionate share of edges."""
+        adj = inputs.kronecker_graph(512, 8, seed=0)
+        degrees = sorted((len(n) for n in adj), reverse=True)
+        top = sum(degrees[:len(degrees) // 20])  # top 5%
+        assert top > sum(degrees) * 0.2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            inputs.kronecker_graph(1)
+
+
+class TestSparseMatrix:
+    def test_banded_stays_in_band(self):
+        cols = inputs.sparse_matrix(500, 4, "banded", seed=0, band=10)
+        for r, row in enumerate(cols):
+            assert all(abs(c - r) <= 10 for c in row)
+
+    def test_scattered_spreads_widely(self):
+        cols = inputs.sparse_matrix(2000, 4, "scattered", seed=0)
+        spans = [max(row) - min(row) for row in cols if len(set(row)) > 1]
+        assert sum(spans) / len(spans) > 500
+
+    def test_row_count_and_nnz(self):
+        cols = inputs.sparse_matrix(100, 7, "banded", seed=0)
+        assert len(cols) == 100
+        assert all(len(row) == 7 for row in cols)
+
+    def test_default_band(self):
+        cols = inputs.sparse_matrix(100, 4, "banded", seed=0)
+        assert all(abs(c - r) <= 8 for r, row in enumerate(cols) for c in row)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            inputs.sparse_matrix(10, 2, "diagonal")
+
+
+class TestImagePixels:
+    def test_uniform_spreads_over_bins(self):
+        pixels = inputs.image_pixels(5000, 1024, "uniform", seed=0)
+        assert len(set(pixels)) > 900
+
+    def test_skewed_concentrates(self):
+        pixels = inputs.image_pixels(5000, 1024, "skewed", seed=0)
+        from collections import Counter
+        counts = Counter(pixels)
+        hot_share = sum(c for _b, c in counts.most_common(20)) / len(pixels)
+        assert hot_share > 0.8
+
+    def test_values_in_range(self):
+        for kind in ("uniform", "skewed"):
+            pixels = inputs.image_pixels(1000, 64, kind, seed=1)
+            assert all(0 <= p < 64 for p in pixels)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            inputs.image_pixels(10, 10, "gradient")
+
+
+def test_degree_table():
+    adj = [[1, 2], [0], [0]]
+    assert inputs.degree_table(adj) == {0: 2, 1: 1, 2: 1}
