@@ -8,7 +8,9 @@ simulations behind them are expensive, so:
   the interesting output is the regenerated rows/series printed to the
   terminal (and the shape assertions), not sub-millisecond timing noise.
 
-Set ``REPRO_NO_CACHE=1`` to force fresh simulations.
+Set ``REPRO_NO_CACHE=1`` to force fresh simulations, and ``REPRO_JOBS=N``
+to fan cache misses out over N worker processes (the session runner
+picks it up automatically; a cold cache benefits enormously).
 """
 
 import pytest
@@ -18,7 +20,10 @@ from repro.harness.runner import Runner
 
 @pytest.fixture(scope="session")
 def runner():
-    """Shared caching runner for the whole benchmark session."""
+    """Shared caching runner for the whole benchmark session.
+
+    Honors ``$REPRO_JOBS`` for parallel cache-miss execution.
+    """
     return Runner()
 
 

@@ -13,7 +13,6 @@ argues for qualitatively:
 
 from conftest import run_once
 
-from repro.harness.runner import Runner
 from repro.sim.config import DEFAULT_CONFIG
 
 
@@ -26,12 +25,12 @@ def test_ablation_amo_buffer(benchmark, runner):
     """Removing the HN AMO buffer must hurt far execution on the
     buffer-friendly contended kernels."""
     def study():
-        no_buffer = Runner(config=DEFAULT_CONFIG.replace(amo_buffer_entries=0),
-                           cache_dir=runner.cache_dir)
+        no_buffer = DEFAULT_CONFIG.replace(amo_buffer_entries=0)
         rows = {}
         for wl in ("HIST", "RSOR"):
             rows[wl] = (_speedup(runner, wl, "unique-near"),
-                        _speedup(no_buffer, wl, "unique-near"))
+                        _speedup(runner, wl, "unique-near",
+                                 config=no_buffer))
         return rows
 
     rows = run_once(benchmark, study)
@@ -48,12 +47,11 @@ def test_ablation_inval_ack_routing(benchmark, runner):
     """Direct-to-requestor invalidation acks cheapen near upgrades, so
     far-for-SC policies lose ground relative to the CHI-faithful mode."""
     def study():
-        direct = Runner(config=DEFAULT_CONFIG.replace(direct_inval_acks=True),
-                        cache_dir=runner.cache_dir)
+        direct = DEFAULT_CONFIG.replace(direct_inval_acks=True)
         rows = {}
         for wl in ("KCOR", "SPT", "CC"):
             rows[wl] = (_speedup(runner, wl, "unique-near"),
-                        _speedup(direct, wl, "unique-near"))
+                        _speedup(runner, wl, "unique-near", config=direct))
         return rows
 
     rows = run_once(benchmark, study)

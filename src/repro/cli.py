@@ -3,9 +3,12 @@
 Commands:
 
 * ``repro list`` — registered workloads and policies.
-* ``repro run WORKLOAD [--policy P] [--threads N] [--scale S] [--input I]``
-  — simulate one cell and print its summary.
-* ``repro figure {1,6,7,8,9,10,11,energy}`` — regenerate a paper figure.
+* ``repro run WORKLOAD [--policy P] [--threads N] [--scale S] [--input I]
+  [--trace FILE]`` — simulate one cell and print its summary;
+  ``--trace`` writes a per-event JSONL trace (bypasses the cache).
+* ``repro figure {1,6,7,8,9,10,11,energy} [--jobs N]`` — regenerate a
+  paper figure ("fig7"/"figure7" also accepted); ``--jobs`` fans cache
+  misses out over worker processes (default: ``$REPRO_JOBS`` or serial).
 * ``repro table {1,2,3,4}`` — print a paper table.
 * ``repro cost [--entries N] [--ways W] [--counter-bits B]`` — AMT
   hardware cost (paper Section VI-G).
@@ -24,6 +27,16 @@ from repro.harness.runner import Runner
 from repro.harness.tables import TABLES
 from repro.sim.config import DEFAULT_CONFIG, PAPER_CONFIG
 from repro.workloads import TABLE_III_CODES, WORKLOADS
+
+
+def _figure_name(raw: str) -> str:
+    """Normalize figure names: "fig7", "figure7", "Fig 7" -> "7"."""
+    name = raw.strip().lower()
+    for prefix in ("figure", "fig"):
+        if name.startswith(prefix):
+            name = name[len(prefix):].lstrip(" -_")
+            break
+    return name
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,10 +58,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--paper-system", action="store_true",
                      help="use the full Table II system (32 cores)")
     run.add_argument("--no-cache", action="store_true")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a per-event JSONL trace to FILE "
+                          "(runs uncached)")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
-    fig.add_argument("which", choices=sorted(FIGURES))
+    fig.add_argument("which", type=_figure_name, choices=sorted(FIGURES),
+                     help="figure name; 'fig7' and 'figure7' work too")
     fig.add_argument("--no-cache", action="store_true")
+    fig.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for cache misses "
+                          "(default: $REPRO_JOBS or 1)")
 
     tab = sub.add_parser("table", help="print a paper table")
     tab.add_argument("which", choices=sorted(TABLES))
@@ -80,10 +100,24 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     config = PAPER_CONFIG if args.paper_system else DEFAULT_CONFIG
     runner = Runner(config=config, use_cache=not args.no_cache)
-    result = runner.run(args.workload, args.policy, threads=args.threads,
-                        scale=args.scale, seed=args.seed,
-                        input_name=args.input_name)
-    print(result.summary())
+    if args.trace:
+        # Traced runs always simulate: a cached result has no events.
+        from repro.harness.executor import execute_spec
+        from repro.sim.events import TraceSink
+
+        spec = runner.make_spec(args.workload, args.policy,
+                                threads=args.threads, scale=args.scale,
+                                input_name=args.input_name, seed=args.seed)
+        sink = TraceSink(args.trace)
+        result = execute_spec(spec, extra_sinks=(sink,))
+        print(result.summary())
+        print(f"  trace: {sink.events_written} events -> {args.trace} "
+              f"(amo-near={sink.near_events} amo-far={sink.far_events})")
+    else:
+        result = runner.run(args.workload, args.policy, threads=args.threads,
+                            scale=args.scale, seed=args.seed,
+                            input_name=args.input_name)
+        print(result.summary())
     print(f"  energy breakdown (nJ): "
           + ", ".join(f"{k}={v:.1f}" for k, v in result.energy.items()))
     print(f"  messages: {result.traffic.total_messages()} "
@@ -93,11 +127,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     driver = FIGURES[args.which]
-    if args.no_cache:
-        data = driver(runner=Runner(use_cache=False)) \
-            if args.which not in ("1",) else driver()
-    else:
+    if args.which == "1":
+        # Fig. 1 runs microbenchmarks directly (no runner, no cache).
         data = driver()
+    else:
+        data = driver(runner=Runner(use_cache=not args.no_cache,
+                                    jobs=args.jobs))
     print(data.render())
     return 0
 

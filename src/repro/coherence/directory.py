@@ -26,9 +26,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.coherence.cache import CacheLine, SetAssocCache
 from repro.coherence.states import CacheState
+from repro.sim.events import Event, EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.sim.config import SystemConfig
+    from repro.sim.events import EventBus
 
 
 class DirEntry:
@@ -98,11 +100,13 @@ class AmoBuffer:
 class HomeNode:
     """One LLC slice with its directory bank, AMO buffer and ALU."""
 
-    def __init__(self, slice_id: int, config: SystemConfig) -> None:
+    def __init__(self, slice_id: int, config: SystemConfig,
+                 bus: Optional["EventBus"] = None) -> None:
         self.slice_id = slice_id
         self.llc = SetAssocCache(config.llc_slice_size, config.llc_ways,
                                  config.block_size)
         self.amo_buffer = AmoBuffer(config.amo_buffer_entries)
+        self.bus = bus
         self.busy_until = 0
         self.llc_hits = 0
         self.llc_misses = 0
@@ -115,6 +119,11 @@ class HomeNode:
             self.llc_hits += 1
         else:
             self.llc_misses += 1
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.emit(Event(EventKind.LLC_ACCESS, bus.now,
+                           block=block,
+                           info={"slice": self.slice_id, "hit": hit}))
         return hit
 
     def llc_fill(self, block: int) -> Optional[CacheLine]:

@@ -24,9 +24,11 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.coherence.cache import CacheLine, SetAssocCache
 from repro.coherence.states import CacheState
+from repro.sim.events import Event, EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.sim.config import SystemConfig
+    from repro.sim.events import EventBus
 
 
 @dataclass
@@ -46,13 +48,22 @@ class InsertResult:
 
 
 class PrivateCacheHierarchy:
-    """L1D + private L2 of a single core."""
+    """L1D + private L2 of a single core.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``core_id`` and ``bus`` identify the hierarchy on the instrumentation
+    bus; departures from the L1D are emitted as L1_EVICTION events when
+    event sinks are attached (the signal the DynAMO reuse predictor and
+    the per-block placement analyses consume).
+    """
+
+    def __init__(self, config: SystemConfig, core_id: int = -1,
+                 bus: Optional["EventBus"] = None) -> None:
         self.l1 = SetAssocCache(config.l1_size, config.l1_ways,
                                 config.block_size)
         self.l2 = SetAssocCache(config.l2_size, config.l2_ways,
                                 config.block_size)
+        self.core_id = core_id
+        self.bus = bus
 
     # --- lookups ---
 
@@ -104,6 +115,15 @@ class PrivateCacheHierarchy:
             result.departures.append(Departure(l1_victim, left_hierarchy=False))
             if l2_victim is not None:
                 result.departures.append(Departure(l2_victim, left_hierarchy=True))
+            bus = self.bus
+            if bus is not None and bus.active:
+                for dep in result.departures:
+                    bus.emit(Event(
+                        EventKind.L1_EVICTION, bus.now, self.core_id,
+                        dep.line.block,
+                        info={"left_hierarchy": dep.left_hierarchy,
+                              "fetched_by_amo": dep.line.fetched_by_amo,
+                              "reused": dep.line.reused}))
         return result
 
     def promote(self, block: int, fetched_by_amo: bool = False) -> InsertResult:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.sim.events import Sink
 from repro.sim.results import MachineStats, SimulationResult
 
 
@@ -69,3 +70,24 @@ def attach_energy(result: SimulationResult, num_cores: int,
     """Fill ``result.energy`` in place and return the result."""
     result.energy = energy_breakdown(result, params, num_cores)
     return result
+
+
+class EnergySink(Sink):
+    """Stock instrumentation-bus sink attaching the energy breakdown.
+
+    Energy is a pure function of the event *counts* the fused stats and
+    traffic sinks already aggregate, so this sink needs no per-event
+    dispatch (``wants_events = False``) — it derives the breakdown once
+    at ``finalize`` time, exactly as the runner used to by calling
+    :func:`attach_energy` after the simulation.
+    """
+
+    wants_events = False
+
+    def __init__(self, num_cores: int,
+                 params: EnergyParams = DEFAULT_ENERGY) -> None:
+        self.num_cores = num_cores
+        self.params = params
+
+    def finalize(self, result: SimulationResult) -> None:
+        attach_energy(result, self.num_cores, self.params)

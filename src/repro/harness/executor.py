@@ -1,0 +1,387 @@
+"""Run planning and execution: specs, result store, serial/parallel executors.
+
+The harness splits an experiment into three concerns:
+
+* **Planning** — :class:`RunSpec` is a frozen, picklable description of
+  one simulation cell.  It records configuration as *overrides relative
+  to* :data:`~repro.sim.config.DEFAULT_CONFIG`, so a spec alone is
+  enough to reconstruct the run anywhere (in particular inside a worker
+  process that never saw the caller's ``SystemConfig`` object).
+* **Storage** — :class:`ResultStore` memoizes results on disk keyed by
+  the spec's cache key, with crash-safe writes (unique temp file +
+  atomic rename, safe against concurrent sweeps sharing one cache
+  directory) and an in-process memo so a sweep never deserializes the
+  same JSON twice.
+* **Execution** — :class:`SerialExecutor` runs cells in order in this
+  process; :class:`ParallelExecutor` fans misses out over a
+  ``concurrent.futures.ProcessPoolExecutor``.  Workers return the
+  *serialized* result dict and the parent deserializes and stores it,
+  so a parallel sweep produces byte-identical cache files to a serial
+  one.
+
+Serialization is strict: :func:`deserialize_result` rejects unknown or
+missing fields with :class:`CacheSchemaError`, and the store treats any
+such mismatch as a cache miss — a stale cache written by a different
+model revision re-runs instead of silently resurrecting drifted data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.energy.model import EnergySink
+from repro.noc.message import MsgType, TrafficMeter
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.engine import run as engine_run
+from repro.sim.events import EventBus, Sink
+from repro.sim.machine import Machine
+from repro.sim.results import MachineStats, SimulationResult
+from repro.workloads.base import make_workload
+
+#: Bump to invalidate all cached results after a model change.
+CACHE_VERSION = 8
+
+#: Safety budget: no workload cell should ever need this many cycles.
+MAX_CYCLES = 2_000_000_000
+
+
+def default_cache_dir() -> str:
+    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in cwd."""
+    return os.environ.get("REPRO_CACHE_DIR",
+                          os.path.join(os.getcwd(), ".repro_cache"))
+
+
+def default_jobs() -> int:
+    """Worker count when unspecified: ``$REPRO_JOBS`` or 1 (serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+class CacheSchemaError(ValueError):
+    """A cached result does not match the current result schema."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """Everything that identifies one simulation cell."""
+
+    workload: str
+    policy: str
+    threads: int
+    scale: float = 1.0
+    seed: int = 0
+    input_name: Optional[str] = None
+    config_overrides: Tuple = ()  # sorted (key, value) pairs
+
+    def with_config(self, config: SystemConfig,
+                    base: SystemConfig = DEFAULT_CONFIG) -> "RunSpec":
+        """Record how ``config`` differs from ``base`` (for cache keys)."""
+        overrides = []
+        for field in dataclasses.fields(SystemConfig):
+            val = getattr(config, field.name)
+            if val != getattr(base, field.name):
+                overrides.append((field.name, val))
+        return dataclasses.replace(self, config_overrides=tuple(overrides))
+
+    def resolve_config(self,
+                       base: SystemConfig = DEFAULT_CONFIG) -> SystemConfig:
+        """Reconstruct the run's ``SystemConfig`` from the overrides.
+
+        The inverse of :meth:`with_config`: a spec is self-describing,
+        so worker processes rebuild the configuration from the spec
+        alone.
+        """
+        if not self.config_overrides:
+            return base
+        return base.replace(**dict(self.config_overrides))
+
+    def cache_key(self) -> str:
+        payload = json.dumps(
+            [CACHE_VERSION, self.workload, self.policy, self.threads,
+             self.scale, self.seed, self.input_name,
+             list(self.config_overrides)],
+            sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def make_spec(workload: str, policy: str, threads: Optional[int] = None,
+              scale: float = 1.0, seed: int = 0,
+              input_name: Optional[str] = None,
+              config: SystemConfig = DEFAULT_CONFIG) -> RunSpec:
+    """Plan one cell: validate inputs and fold ``config`` into the spec."""
+    threads = threads if threads is not None else config.num_cores
+    if threads > config.num_cores:
+        raise ValueError(
+            f"{threads} threads > {config.num_cores} cores in config")
+    return RunSpec(workload, policy, threads, scale, seed,
+                   input_name).with_config(config)
+
+
+# --- result (de)serialization --------------------------------------------
+
+#: Exact top-level field set of a serialized result.  Deserialization
+#: rejects any deviation so schema drift surfaces as a cache miss, never
+#: as a half-populated result.
+RESULT_FIELDS = frozenset({
+    "policy", "cycles", "per_core_finish", "instructions",
+    "amos_committed", "stats", "messages", "flits", "flit_hops",
+    "near_decisions", "far_decisions", "energy", "metadata",
+})
+
+
+def serialize_result(result: SimulationResult) -> Dict:
+    """Flatten a result to a JSON-serializable dict (stable field order)."""
+    return {
+        "policy": result.policy,
+        "cycles": result.cycles,
+        "per_core_finish": result.per_core_finish,
+        "instructions": result.instructions,
+        "amos_committed": result.amos_committed,
+        "stats": result.stats.as_dict(),
+        "messages": result.traffic.by_type(),
+        "flits": result.traffic.flits,
+        "flit_hops": result.traffic.flit_hops,
+        "near_decisions": result.near_decisions,
+        "far_decisions": result.far_decisions,
+        "energy": result.energy,
+        "metadata": result.metadata,
+    }
+
+
+def deserialize_result(data: Dict) -> SimulationResult:
+    """Rebuild a result from :func:`serialize_result` output.
+
+    Raises:
+        CacheSchemaError: on unknown/missing fields anywhere in the
+            payload — the data was written by a different model revision.
+    """
+    unknown = set(data) - RESULT_FIELDS
+    if unknown:
+        raise CacheSchemaError(
+            f"unknown result fields: {sorted(unknown)}")
+    missing = RESULT_FIELDS - set(data)
+    if missing:
+        raise CacheSchemaError(
+            f"missing result fields: {sorted(missing)}")
+    try:
+        stats = MachineStats.from_dict(data["stats"])
+    except ValueError as exc:
+        raise CacheSchemaError(str(exc)) from None
+    traffic = TrafficMeter()
+    for name, count in data["messages"].items():
+        try:
+            traffic.messages[MsgType[name]] = count
+        except KeyError:
+            raise CacheSchemaError(
+                f"unknown message type {name!r}") from None
+    traffic.flits = data["flits"]
+    traffic.flit_hops = data["flit_hops"]
+    return SimulationResult(
+        policy=data["policy"],
+        cycles=data["cycles"],
+        per_core_finish=data["per_core_finish"],
+        instructions=data["instructions"],
+        amos_committed=data["amos_committed"],
+        stats=stats,
+        traffic=traffic,
+        near_decisions=data["near_decisions"],
+        far_decisions=data["far_decisions"],
+        energy=data["energy"],
+        metadata=data["metadata"],
+    )
+
+
+# --- the result store -----------------------------------------------------
+
+class ResultStore:
+    """On-disk result cache with an in-process memo layer.
+
+    Writes go to a uniquely named temp file in the cache directory and
+    are published with an atomic :func:`os.replace`, so concurrent
+    processes (or a crash mid-write) can never leave a torn JSON file
+    behind under the final name.  Reads that fail to parse or fail the
+    schema check are treated as misses.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 enabled: bool = True) -> None:
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.enabled = enabled
+        self._memo: Dict[str, SimulationResult] = {}
+        if self.enabled:
+            os.makedirs(self.cache_dir, exist_ok=True)
+
+    def path_for(self, spec: RunSpec) -> str:
+        return os.path.join(self.cache_dir, spec.cache_key() + ".json")
+
+    def load(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """Cached result for ``spec``, or None on a miss."""
+        if not self.enabled:
+            return None
+        key = spec.cache_key()
+        memo = self._memo.get(key)
+        if memo is not None:
+            return memo
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        try:
+            result = deserialize_result(data)
+        except CacheSchemaError:
+            return None  # written by a different revision: recompute
+        self._memo[key] = result
+        return result
+
+    def store(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Persist ``result`` for ``spec`` (memo always, disk if enabled)."""
+        key = spec.cache_key()
+        self._memo[key] = result
+        if not self.enabled:
+            return
+        path = self.path_for(spec)
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
+                                   prefix=key + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(serialize_result(result), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+# --- execution ------------------------------------------------------------
+
+def execute_spec(spec: RunSpec,
+                 extra_sinks: Sequence[Sink] = ()) -> SimulationResult:
+    """Simulate one cell from scratch (no cache involvement).
+
+    An :class:`~repro.energy.model.EnergySink` is always attached so the
+    result carries its dynamic-energy breakdown; ``extra_sinks`` adds
+    instrumentation (tracing, invariant checking) for this run only.
+    """
+    config = spec.resolve_config()
+    bus = EventBus()
+    bus.subscribe(EnergySink(num_cores=spec.threads))
+    for sink in extra_sinks:
+        bus.subscribe(sink)
+    wl = make_workload(spec.workload, spec.threads, scale=spec.scale,
+                       seed=spec.seed, input_name=spec.input_name)
+    machine = Machine(config, spec.policy, bus=bus)
+    for addr, value in wl.initial_values().items():
+        machine.poke_value(addr, value)
+    result = engine_run(machine, wl.programs(), max_cycles=MAX_CYCLES)
+    result.metadata = {
+        "workload": spec.workload,
+        "input": wl.input_name,
+        "threads": spec.threads,
+        "scale": spec.scale,
+        "amo_footprint_bytes": wl.amo_footprint_bytes,
+    }
+    bus.close()
+    return result
+
+
+def _execute_serialized(spec: RunSpec) -> Dict:
+    """Worker entry point: run a spec, return the serialized result.
+
+    Workers hand back plain dicts (cheap to pickle); the parent is the
+    single writer to the store, which both keeps the memo coherent and
+    makes parallel cache files byte-identical to serial ones.
+    """
+    return serialize_result(execute_spec(spec))
+
+
+class SerialExecutor:
+    """Runs cells one after another in the calling process."""
+
+    jobs = 1
+
+    def __init__(self, store: Optional[ResultStore] = None) -> None:
+        self.store = store if store is not None else ResultStore()
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        cached = self.store.load(spec)
+        if cached is not None:
+            return cached
+        result = execute_spec(spec)
+        self.store.store(spec, result)
+        return result
+
+    def run_many(self, specs: Iterable[RunSpec]) -> List[SimulationResult]:
+        return [self.run(spec) for spec in specs]
+
+
+class ParallelExecutor:
+    """Fans cache misses out over a process pool.
+
+    Results are returned in the order of ``specs``.  Duplicate specs in
+    one batch are simulated once.  The pool is created per batch: worker
+    processes hold no state between batches, and a batch of all-hits
+    never spawns a pool at all.
+    """
+
+    def __init__(self, jobs: int,
+                 store: Optional[ResultStore] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store if store is not None else ResultStore()
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Iterable[RunSpec]) -> List[SimulationResult]:
+        specs = list(specs)
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        misses: Dict[str, Tuple[RunSpec, List[int]]] = {}
+        for i, spec in enumerate(specs):
+            cached = self.store.load(spec)
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.setdefault(spec.cache_key(), (spec, []))[1].append(i)
+        if misses:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(_execute_serialized, spec): (spec, idxs)
+                    for spec, idxs in misses.values()}
+                for future in as_completed(futures):
+                    spec, idxs = futures[future]
+                    result = deserialize_result(future.result())
+                    self.store.store(spec, result)
+                    for i in idxs:
+                        results[i] = result
+        return results  # type: ignore[return-value]
+
+
+def make_executor(jobs: Optional[int] = None,
+                  store: Optional[ResultStore] = None):
+    """Executor for ``jobs`` workers (None -> ``$REPRO_JOBS`` -> serial)."""
+    jobs = jobs if jobs is not None else default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor(store)
+    return ParallelExecutor(jobs, store)

@@ -5,6 +5,11 @@ the caching :class:`~repro.harness.runner.Runner`) and returns a
 structured result object with the same series/rows the paper plots, plus
 a ``render()`` that prints them.  The benchmark suite calls these drivers
 and asserts the paper's qualitative shapes on the returned data.
+
+Drivers plan their whole grid as :class:`~repro.harness.executor.RunSpec`
+batches and submit them through ``Runner.run_specs`` / ``Runner.sweep``,
+so a runner constructed with ``jobs > 1`` (or ``$REPRO_JOBS``) fans the
+figure's cache misses out over worker processes.
 """
 
 from __future__ import annotations
@@ -122,9 +127,10 @@ def figure6(runner: Optional[Runner] = None,
     """Fig. 6: committed AMOs per kilo-instruction per workload, split
     into AtomicLoad and AtomicStore, under the All Near baseline."""
     runner = runner or Runner()
+    results = runner.run_specs(
+        [runner.make_spec(code, BASELINE) for code in workloads])
     loads, stores = [], []
-    for code in workloads:
-        res = runner.run(code, BASELINE)
+    for res in results:
         total = res.stats.amo_loads + res.stats.amo_stores
         if total:
             load_frac = res.stats.amo_loads / total
@@ -199,15 +205,18 @@ def figure9(runner: Optional[Runner] = None) -> FigureData:
     DynAMO-Reuse-PN adapts to both.
     """
     runner = runner or Runner()
+    cells = [(wl, inp) for wl, inputs in FIG9_INPUTS.items()
+             for inp in inputs]
+    policies = (BASELINE, "unique-near", "dynamo-reuse-pn")
+    results = iter(runner.run_specs(
+        [runner.make_spec(wl, pol, input_name=inp)
+         for wl, inp in cells for pol in policies]))
     xs, un, dyn = [], [], []
-    for wl, inputs in FIG9_INPUTS.items():
-        for inp in inputs:
-            base = runner.run(wl, BASELINE, input_name=inp)
-            xs.append(f"{wl}/{inp}")
-            un.append(runner.run(wl, "unique-near",
-                                 input_name=inp).speedup_over(base))
-            dyn.append(runner.run(wl, "dynamo-reuse-pn",
-                                  input_name=inp).speedup_over(base))
+    for wl, inp in cells:
+        base, un_res, dyn_res = [next(results) for _ in policies]
+        xs.append(f"{wl}/{inp}")
+        un.append(un_res.speedup_over(base))
+        dyn.append(dyn_res.speedup_over(base))
     return FigureData(
         name="Figure 9: input sensitivity (vs All Near)",
         xlabel="workload/input", xs=xs,
@@ -234,31 +243,34 @@ def figure10(runner: Optional[Runner] = None,
     """
     from repro.harness.report import geomean
 
-    base_runner = runner or Runner()
-    cfg = base_runner.config
+    runner = runner or Runner()
+    cfg = runner.config
+    points: List = []
+    for entries in FIG10_ENTRIES:
+        points.append((f"entries={entries}", cfg.replace(amt_entries=entries)))
+    for ways in FIG10_WAYS:
+        points.append((f"ways={ways}", cfg.replace(amt_ways=ways)))
+    for counter in FIG10_COUNTERS:
+        points.append((f"counter={counter}",
+                       cfg.replace(amt_counter_max=counter)))
 
-    def geo_speedup(config: SystemConfig) -> float:
-        sweep_runner = Runner(config=config,
-                              cache_dir=base_runner.cache_dir,
-                              use_cache=base_runner.use_cache)
-        vals = []
-        for wl in workloads:
-            base = sweep_runner.run(wl, BASELINE)
-            dyn = sweep_runner.run(wl, "dynamo-reuse-pn")
-            vals.append(dyn.speedup_over(base))
-        return geomean(vals)
-
+    # One batch over the whole (sweep point x workload x policy) space:
+    # the parallel executor sees every miss at once.
+    results = iter(runner.run_specs(
+        [runner.make_spec(wl, pol, config=config)
+         for _label, config in points
+         for wl in workloads
+         for pol in (BASELINE, "dynamo-reuse-pn")]))
     xs: List[str] = []
     ys: List[float] = []
-    for entries in FIG10_ENTRIES:
-        xs.append(f"entries={entries}")
-        ys.append(geo_speedup(cfg.replace(amt_entries=entries)))
-    for ways in FIG10_WAYS:
-        xs.append(f"ways={ways}")
-        ys.append(geo_speedup(cfg.replace(amt_ways=ways)))
-    for counter in FIG10_COUNTERS:
-        xs.append(f"counter={counter}")
-        ys.append(geo_speedup(cfg.replace(amt_counter_max=counter)))
+    for label, _config in points:
+        vals = []
+        for _wl in workloads:
+            base = next(results)
+            dyn = next(results)
+            vals.append(dyn.speedup_over(base))
+        xs.append(label)
+        ys.append(geomean(vals))
     return FigureData(
         name="Figure 10: AMT sizing (DynAMO-Reuse-PN vs All Near)",
         xlabel="configuration", xs=xs,
@@ -290,15 +302,18 @@ def figure11(runner: Optional[Runner] = None,
     paper finds gains grow with hop cost and are insensitive to memory
     latency.  Values are per-APKI-set geomeans of speed-up over All Near.
     """
-    base_runner = runner or Runner()
-    systems = fig11_systems(base_runner.config)
+    runner = runner or Runner()
+    systems = fig11_systems(runner.config)
     sets: Dict[str, List[float]] = {"L": [], "M": [], "H": []}
     xs = list(systems)
-    for name, config in systems.items():
-        sweep_runner = Runner(config=config,
-                              cache_dir=base_runner.cache_dir,
-                              use_cache=base_runner.use_cache)
-        grid = sweep_runner.sweep(workloads, [BASELINE, "dynamo-reuse-pn"])
+    policies = (BASELINE, "dynamo-reuse-pn")
+    results = iter(runner.run_specs(
+        [runner.make_spec(wl, pol, config=config)
+         for config in systems.values()
+         for wl in workloads for pol in policies]))
+    for _name in systems:
+        grid = {wl: {pol: next(results) for pol in policies}
+                for wl in workloads}
         speedups = {wl: grid[wl]["dynamo-reuse-pn"].speedup_over(
             grid[wl][BASELINE]) for wl in workloads}
         classes = apki_classes({wl: grid[wl][BASELINE] for wl in workloads})

@@ -1,70 +1,31 @@
 """Experiment runner: execute (workload, policy, config) cells with caching.
 
 Every figure in the paper is a grid of simulations over workloads and
-policies.  The runner executes one cell, attaches energy accounting, and
-memoizes results on disk (keyed by every input that affects the outcome)
-so that e.g. the Fig. 8 benchmark reuses the All Near baselines that
-Fig. 7 already simulated.
+policies.  The runner plans one :class:`~repro.harness.executor.RunSpec`
+per cell and delegates execution to the executor layer, which memoizes
+results on disk (keyed by every input that affects the outcome) so that
+e.g. the Fig. 8 benchmark reuses the All Near baselines that Fig. 7
+already simulated.  Pass ``jobs`` (or set ``$REPRO_JOBS``) to fan sweeps
+out over worker processes.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
 import os
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.energy.model import attach_energy
-from repro.noc.message import MsgType, TrafficMeter
+from repro.harness.executor import (CACHE_VERSION, MAX_CYCLES,
+                                    CacheSchemaError, ResultStore, RunSpec,
+                                    default_cache_dir, deserialize_result,
+                                    make_executor, make_spec,
+                                    serialize_result)
 from repro.sim.config import DEFAULT_CONFIG, SystemConfig
-from repro.sim.engine import run as engine_run
-from repro.sim.machine import Machine
-from repro.sim.results import MachineStats, SimulationResult
-from repro.workloads.base import make_workload
+from repro.sim.results import SimulationResult
 
-#: Bump to invalidate all cached results after a model change.
-CACHE_VERSION = 8
-
-#: Safety budget: no workload cell should ever need this many cycles.
-MAX_CYCLES = 2_000_000_000
-
-
-def default_cache_dir() -> str:
-    """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in cwd."""
-    return os.environ.get("REPRO_CACHE_DIR",
-                          os.path.join(os.getcwd(), ".repro_cache"))
-
-
-@dataclasses.dataclass(frozen=True)
-class RunSpec:
-    """Everything that identifies one simulation cell."""
-
-    workload: str
-    policy: str
-    threads: int
-    scale: float = 1.0
-    seed: int = 0
-    input_name: Optional[str] = None
-    config_overrides: tuple = ()  # sorted (key, value) pairs
-
-    def with_config(self, config: SystemConfig,
-                    base: SystemConfig = DEFAULT_CONFIG) -> "RunSpec":
-        """Record how ``config`` differs from ``base`` (for cache keys)."""
-        overrides = []
-        for field in dataclasses.fields(SystemConfig):
-            val = getattr(config, field.name)
-            if val != getattr(base, field.name):
-                overrides.append((field.name, val))
-        return dataclasses.replace(self, config_overrides=tuple(overrides))
-
-    def cache_key(self) -> str:
-        payload = json.dumps(
-            [CACHE_VERSION, self.workload, self.policy, self.threads,
-             self.scale, self.seed, self.input_name,
-             list(self.config_overrides)],
-            sort_keys=True)
-        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+__all__ = [
+    "CACHE_VERSION", "MAX_CYCLES", "CacheSchemaError", "RunSpec", "Runner",
+    "default_cache_dir", "speedups_vs_baseline", "best_static_speedups",
+]
 
 
 class Runner:
@@ -72,56 +33,38 @@ class Runner:
 
     def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
                  cache_dir: Optional[str] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 jobs: Optional[int] = None) -> None:
         self.config = config
         self.use_cache = use_cache and os.environ.get("REPRO_NO_CACHE") != "1"
-        self.cache_dir = cache_dir or default_cache_dir()
-        if self.use_cache:
-            os.makedirs(self.cache_dir, exist_ok=True)
+        self.store = ResultStore(cache_dir, enabled=self.use_cache)
+        self.cache_dir = self.store.cache_dir
+        self._executor = make_executor(jobs, self.store)
 
-    # --- cache serialization -----------------------------------------
+    @property
+    def jobs(self) -> int:
+        return self._executor.jobs
+
+    # --- cache serialization (back-compat wrappers) -------------------
 
     @staticmethod
     def _serialize(result: SimulationResult) -> Dict:
-        return {
-            "policy": result.policy,
-            "cycles": result.cycles,
-            "per_core_finish": result.per_core_finish,
-            "instructions": result.instructions,
-            "amos_committed": result.amos_committed,
-            "stats": result.stats.as_dict(),
-            "messages": result.traffic.by_type(),
-            "flits": result.traffic.flits,
-            "flit_hops": result.traffic.flit_hops,
-            "near_decisions": result.near_decisions,
-            "far_decisions": result.far_decisions,
-            "energy": result.energy,
-            "metadata": result.metadata,
-        }
+        return serialize_result(result)
 
     @staticmethod
     def _deserialize(data: Dict) -> SimulationResult:
-        stats = MachineStats()
-        for key, value in data["stats"].items():
-            setattr(stats, key, value)
-        traffic = TrafficMeter()
-        for name, count in data["messages"].items():
-            traffic.messages[MsgType[name]] = count
-        traffic.flits = data["flits"]
-        traffic.flit_hops = data["flit_hops"]
-        return SimulationResult(
-            policy=data["policy"],
-            cycles=data["cycles"],
-            per_core_finish=data["per_core_finish"],
-            instructions=data["instructions"],
-            amos_committed=data["amos_committed"],
-            stats=stats,
-            traffic=traffic,
-            near_decisions=data["near_decisions"],
-            far_decisions=data["far_decisions"],
-            energy=data["energy"],
-            metadata=data.get("metadata", {}),
-        )
+        return deserialize_result(data)
+
+    # --- planning -----------------------------------------------------
+
+    def make_spec(self, workload: str, policy: str,
+                  threads: Optional[int] = None, scale: float = 1.0,
+                  seed: int = 0, input_name: Optional[str] = None,
+                  config: Optional[SystemConfig] = None) -> RunSpec:
+        """Plan one cell against this runner's (or an override) config."""
+        return make_spec(workload, policy, threads=threads, scale=scale,
+                         seed=seed, input_name=input_name,
+                         config=config or self.config)
 
     # --- execution ----------------------------------------------------
 
@@ -130,56 +73,45 @@ class Runner:
             seed: int = 0, input_name: Optional[str] = None,
             config: Optional[SystemConfig] = None) -> SimulationResult:
         """Run one cell (or return its cached result)."""
-        cfg = config or self.config
-        threads = threads if threads is not None else cfg.num_cores
-        if threads > cfg.num_cores:
-            raise ValueError(
-                f"{threads} threads > {cfg.num_cores} cores in config")
-        spec = RunSpec(workload, policy, threads, scale, seed,
-                       input_name).with_config(cfg)
-        path = os.path.join(self.cache_dir, spec.cache_key() + ".json")
-        if self.use_cache and os.path.exists(path):
-            with open(path) as fh:
-                return self._deserialize(json.load(fh))
+        spec = self.make_spec(workload, policy, threads=threads, scale=scale,
+                              seed=seed, input_name=input_name, config=config)
+        return self._executor.run(spec)
 
-        wl = make_workload(workload, threads, scale=scale, seed=seed,
-                           input_name=input_name)
-        machine = Machine(cfg, policy)
-        for addr, value in wl.initial_values().items():
-            machine.poke_value(addr, value)
-        result = engine_run(machine, wl.programs(), max_cycles=MAX_CYCLES)
-        attach_energy(result, num_cores=threads)
-        result.metadata = {
-            "workload": workload,
-            "input": wl.input_name,
-            "threads": threads,
-            "scale": scale,
-            "amo_footprint_bytes": wl.amo_footprint_bytes,
-        }
-        if self.use_cache:
-            tmp = path + ".tmp"
-            with open(tmp, "w") as fh:
-                json.dump(self._serialize(result), fh)
-            os.replace(tmp, path)
-        return result
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Run a batch of planned cells (in parallel when ``jobs > 1``).
+
+        Results come back in spec order; cached cells are served from
+        the store without occupying a worker.
+        """
+        return self._executor.run_many(specs)
 
     def sweep(self, workloads: Iterable[str], policies: Iterable[str],
               **kwargs) -> Dict[str, Dict[str, SimulationResult]]:
         """Run a workload x policy grid; returns results[workload][policy]."""
+        cells = [(wl, pol) for wl in workloads for pol in policies]
+        specs = [self.make_spec(wl, pol, **kwargs) for wl, pol in cells]
+        results = self.run_specs(specs)
         grid: Dict[str, Dict[str, SimulationResult]] = {}
-        for wl in workloads:
-            grid[wl] = {}
-            for pol in policies:
-                grid[wl][pol] = self.run(wl, pol, **kwargs)
+        for (wl, pol), result in zip(cells, results):
+            grid.setdefault(wl, {})[pol] = result
         return grid
 
 
 def speedups_vs_baseline(grid: Dict[str, Dict[str, SimulationResult]],
                          baseline: str = "all-near") -> Dict[str, Dict[str, float]]:
-    """Per-workload speed-ups of each policy over ``baseline``."""
+    """Per-workload speed-ups of each policy over ``baseline``.
+
+    Raises:
+        ValueError: when a workload's row has no ``baseline`` entry —
+            the grid was swept without the baseline policy.
+    """
     out: Dict[str, Dict[str, float]] = {}
     for wl, by_policy in grid.items():
-        base = by_policy[baseline]
+        base = by_policy.get(baseline)
+        if base is None:
+            raise ValueError(
+                f"workload {wl!r} has no {baseline!r} result to normalize "
+                f"against (policies present: {sorted(by_policy)})")
         out[wl] = {pol: res.speedup_over(base) if pol != baseline else 1.0
                    for pol, res in by_policy.items()}
     return out

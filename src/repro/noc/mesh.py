@@ -17,7 +17,12 @@ is modelled there (:mod:`repro.coherence.directory`).
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.noc.message import MsgType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.events import EventBus
 
 
 def mesh_dims(num_tiles: int) -> Tuple[int, int]:
@@ -44,17 +49,39 @@ class Mesh:
     """
 
     def __init__(self, num_cores: int, num_slices: int,
-                 router_latency: int = 1, link_latency: int = 1) -> None:
+                 router_latency: int = 1, link_latency: int = 1,
+                 bus: Optional["EventBus"] = None) -> None:
         if num_cores <= 0 or num_slices <= 0:
             raise ValueError("mesh needs at least one core and one slice")
         self.num_cores = num_cores
         self.num_slices = num_slices
         self.router_latency = router_latency
         self.link_latency = link_latency
+        self.bus = bus
         self.cols, self.rows = mesh_dims(num_cores + num_slices)
         # Interleave RN/HN tiles: cores on even tile ids, slices on odd.
         self._core_tile = [self._tile_for(2 * i) for i in range(num_cores)]
         self._slice_tile = [self._tile_for(2 * i + 1) for i in range(num_slices)]
+
+    def record(self, msg: MsgType, hops: int, count: int = 1) -> None:
+        """Account ``count`` messages of class ``msg`` travelling ``hops``.
+
+        The mesh is the single gateway for protocol-message accounting:
+        it feeds the fused traffic meter and, when event sinks are
+        attached, emits a MESSAGE event per call.
+        """
+        bus = self.bus
+        if bus is None:
+            return
+        bus.traffic.record(msg, hops, count)
+        if bus.active:
+            # Imported here, not at module level: repro.sim.events pulls
+            # in repro.noc.message, so a top-level import would be
+            # circular for any entry through the noc package.
+            from repro.sim.events import Event, EventKind
+            bus.emit(Event(EventKind.MESSAGE, bus.now,
+                           info={"msg": msg.name, "hops": hops,
+                                 "count": count}))
 
     def _tile_for(self, tile_id: int) -> Tuple[int, int]:
         total = self.cols * self.rows

@@ -1,12 +1,39 @@
-"""Simulation kernel: configuration, machine model, engine, results."""
+"""Simulation kernel: configuration, machine model, engine, results.
+
+Only the leaf modules (config, results, events) are imported eagerly.
+``Machine``, ``run`` and ``SimulationTimeout`` are exposed lazily via
+PEP 562 module ``__getattr__``: the machine model imports the coherence
+and NoC packages, which themselves import :mod:`repro.sim.events`, and
+an eager import here would close that cycle while those packages are
+still partially initialised.
+"""
 
 from repro.sim.config import (DEFAULT_CONFIG, PAPER_CONFIG, TINY_CONFIG,
                               SystemConfig)
-from repro.sim.engine import SimulationTimeout, run
-from repro.sim.machine import Machine
+from repro.sim.events import EventBus, EventKind
 from repro.sim.results import MachineStats, SimulationResult
 
 __all__ = [
     "DEFAULT_CONFIG", "PAPER_CONFIG", "TINY_CONFIG", "SystemConfig",
+    "EventBus", "EventKind",
     "SimulationTimeout", "run", "Machine", "MachineStats", "SimulationResult",
 ]
+
+_LAZY = {
+    "Machine": ("repro.sim.machine", "Machine"),
+    "run": ("repro.sim.engine", "run"),
+    "SimulationTimeout": ("repro.sim.engine", "SimulationTimeout"),
+}
+
+
+def __getattr__(name):
+    try:
+        mod_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(mod_name), attr)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value

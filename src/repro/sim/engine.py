@@ -90,7 +90,7 @@ def run(machine: Machine, programs: Iterable[Program],
 
     near = sum(ps.near_decisions for ps in machine.policy_stats)
     far = sum(ps.far_decisions for ps in machine.policy_stats)
-    return SimulationResult(
+    result = SimulationResult(
         policy=machine.policy_name,
         cycles=max(finish) if finish else 0,
         per_core_finish=finish,
@@ -101,3 +101,7 @@ def run(machine: Machine, programs: Iterable[Program],
         near_decisions=near,
         far_decisions=far,
     )
+    # Let instrumentation sinks annotate the finished run (e.g. the
+    # energy sink attaches the dynamic-energy breakdown).
+    machine.bus.finalize(result)
+    return result

@@ -1,0 +1,310 @@
+"""Instrumentation bus: typed simulation events decoupled from timing.
+
+The machine, the private caches, the home nodes and the mesh *emit*
+events (AMO placements, snoops, invalidations, LLC/DRAM accesses, line
+handoffs, protocol messages) to an :class:`EventBus` instead of owning
+their observability.  Consumers subscribe :class:`Sink` objects:
+
+* the three *stock* sinks — :class:`StatsSink` (the `MachineStats`
+  counter block), :class:`TrafficSink` (the NoC `TrafficMeter`) and the
+  energy sink (:class:`repro.energy.model.EnergySink`) — reproduce the
+  accounting the machine previously hard-wired;
+* :class:`TraceSink` records an opt-in structured per-op JSONL trace
+  (``python -m repro run --trace FILE``);
+* :class:`AssertionSink` re-checks coherence invariants while a
+  simulation runs (property tests).
+
+Fast path: pure counters *are* their own events — a counter increment
+carries no information beyond "this event happened" — so the stock
+stats/traffic sinks are **fused**: the bus hands emitters a direct
+reference to the underlying counter block and meter, and per-event
+dispatch (`Event` construction + fan-out to ``on_event``) only happens
+when a sink that *wants* events is subscribed (``bus.active``).  With
+only the stock sinks attached, default-mode simulation therefore
+executes the exact instruction sequence it did before the bus existed;
+each emission site costs one attribute load and one branch.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import IO, Dict, List, Optional, Union
+
+from repro.noc.message import TrafficMeter
+from repro.sim.results import MachineStats
+
+
+class EventKind(enum.Enum):
+    """Typed simulation event classes (value = stable trace name)."""
+
+    #: an AMO executed in the requesting core's L1D.
+    AMO_NEAR = "amo-near"
+    #: an AMO executed at the block's home node.
+    AMO_FAR = "amo-far"
+    #: the home node snooped a private cache.
+    SNOOP = "snoop"
+    #: a snoop removed a private copy.
+    INVALIDATION = "invalidation"
+    #: a snoop downgraded an exclusive copy to shared.
+    DOWNGRADE = "downgrade"
+    #: exclusive ownership of a line moved between agents.
+    LINE_HANDOFF = "line-handoff"
+    #: an LLC slice data-array lookup (hit or miss).
+    LLC_ACCESS = "llc-access"
+    #: a DRAM read issued by a home node.
+    DRAM_READ = "dram-read"
+    #: a DRAM write (LLC victim writeback).
+    DRAM_WRITE = "dram-write"
+    #: a protocol message crossed the mesh.
+    MESSAGE = "message"
+    #: a block departed an L1D (spill to L2 or out of the hierarchy).
+    L1_EVICTION = "l1-eviction"
+    #: a store-class op stalled on a full store buffer.
+    STORE_BUFFER_STALL = "store-buffer-stall"
+
+
+class Event:
+    """One simulation event.
+
+    ``core`` and ``block`` are -1 when the event has no core / block
+    (e.g. a MESSAGE event); ``info`` carries kind-specific fields.
+    """
+
+    __slots__ = ("kind", "cycle", "core", "block", "info")
+
+    def __init__(self, kind: EventKind, cycle: int, core: int = -1,
+                 block: int = -1,
+                 info: Optional[Dict[str, object]] = None) -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.core = core
+        self.block = block
+        self.info = info
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict representation (the JSONL trace record)."""
+        out: Dict[str, object] = {
+            "kind": self.kind.value, "cycle": self.cycle,
+            "core": self.core, "block": self.block,
+        }
+        if self.info:
+            out.update(self.info)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.as_dict()!r})"
+
+
+class Sink:
+    """Base event consumer.
+
+    ``wants_events`` controls the bus fast path: sinks that only
+    aggregate through the fused stores or only act at ``finalize`` time
+    set it False so their presence does not force per-event dispatch.
+    """
+
+    #: True when this sink must receive every Event via :meth:`on_event`.
+    wants_events = True
+
+    def on_event(self, event: Event) -> None:
+        """Receive one event (only called when ``wants_events``)."""
+
+    def finalize(self, result) -> None:
+        """Run-end hook: annotate the finished ``SimulationResult``."""
+
+    def close(self) -> None:
+        """Release resources (files, handles)."""
+
+
+class StatsSink(Sink):
+    """Stock sink owning the :class:`MachineStats` counter block.
+
+    Fused: emitters increment ``.stats`` directly through the reference
+    the bus hands out, so counting costs exactly what it did when the
+    machine owned the counters.
+    """
+
+    wants_events = False
+
+    def __init__(self, stats: Optional[MachineStats] = None) -> None:
+        self.stats = stats if stats is not None else MachineStats()
+
+
+class TrafficSink(Sink):
+    """Stock sink owning the NoC :class:`TrafficMeter` (fused)."""
+
+    wants_events = False
+
+    def __init__(self, meter: Optional[TrafficMeter] = None) -> None:
+        self.meter = meter if meter is not None else TrafficMeter()
+
+
+class EventBus:
+    """Connects emitters (machine, caches, home nodes, mesh) to sinks.
+
+    ``active`` is True iff at least one subscribed sink wants per-event
+    dispatch; emitters guard every :meth:`emit` call on it.  ``now`` is
+    the machine's current cycle, maintained so component emitters (which
+    have no clock of their own) can stamp their events.
+    """
+
+    __slots__ = ("stats", "traffic", "now", "active", "_sinks",
+                 "stats_sink", "traffic_sink")
+
+    def __init__(self, stats_sink: Optional[StatsSink] = None,
+                 traffic_sink: Optional[TrafficSink] = None) -> None:
+        self.stats_sink = stats_sink or StatsSink()
+        self.traffic_sink = traffic_sink or TrafficSink()
+        #: fused stores, referenced directly by the hot paths.
+        self.stats = self.stats_sink.stats
+        self.traffic = self.traffic_sink.meter
+        self.now = 0
+        self.active = False
+        self._sinks: List[Sink] = [self.stats_sink, self.traffic_sink]
+
+    # --- subscription -------------------------------------------------
+
+    def subscribe(self, sink: Sink) -> Sink:
+        """Attach ``sink``; returns it for chaining."""
+        self._sinks.append(sink)
+        self._refresh()
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.active = any(s.wants_events for s in self._sinks)
+
+    @property
+    def sinks(self) -> List[Sink]:
+        return list(self._sinks)
+
+    # --- emission (only called behind an ``if bus.active`` guard) -----
+
+    def emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            if sink.wants_events:
+                sink.on_event(event)
+
+    # --- lifecycle ----------------------------------------------------
+
+    def finalize(self, result) -> None:
+        """Let every sink annotate the finished result."""
+        for sink in self._sinks:
+            sink.finalize(result)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+class TraceSink(Sink):
+    """Opt-in structured trace: one JSON object per event, one per line.
+
+    Accepts a path (opened and owned by the sink) or an open file-like
+    object (borrowed; not closed).  Counts near/far AMO events so traces
+    can be reconciled against ``SimulationResult`` decision counters
+    without re-parsing the file.
+    """
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._fh: IO[str] = open(destination, "w")
+            self._owns = True
+        else:
+            self._fh = destination
+            self._owns = False
+        self.events_written = 0
+        self.near_events = 0
+        self.far_events = 0
+
+    def on_event(self, event: Event) -> None:
+        if event.kind is EventKind.AMO_NEAR:
+            self.near_events += 1
+        elif event.kind is EventKind.AMO_FAR:
+            self.far_events += 1
+        self._fh.write(json.dumps(event.as_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+class AssertionSink(Sink):
+    """Checks coherence invariants while the simulation runs.
+
+    On every coherence-relevant event the sink cross-checks the event's
+    block between directory and private caches (single writer, multiple
+    readers, directory–sharer agreement); every ``full_check_every``
+    such events it additionally runs the machine's full
+    :meth:`check_coherence_invariants` sweep.  Used by the property
+    tests; never attached in default mode.
+    """
+
+    _CHECKED = frozenset({
+        EventKind.AMO_NEAR, EventKind.AMO_FAR, EventKind.INVALIDATION,
+        EventKind.DOWNGRADE, EventKind.LINE_HANDOFF,
+    })
+
+    def __init__(self, machine, full_check_every: int = 64) -> None:
+        self.machine = machine
+        self.full_check_every = full_check_every
+        self.checks = 0
+
+    def on_event(self, event: Event) -> None:
+        if event.kind not in self._CHECKED:
+            return
+        self.checks += 1
+        if event.block >= 0:
+            self._check_block(event.block)
+        if self.checks % self.full_check_every == 0:
+            self.machine.check_coherence_invariants()
+
+    def _check_block(self, block: int) -> None:
+        machine = self.machine
+        entry = machine.directory.peek(block)
+        unique_holders = []
+        holders = []
+        for core, priv in enumerate(machine.privates):
+            line, _level = priv.find(block)
+            if line is None:
+                continue
+            holders.append(core)
+            if line.state.is_unique:
+                unique_holders.append(core)
+            assert entry is not None, (
+                f"core {core} holds untracked block {block:#x}")
+            assert core in entry.holders(), (
+                f"core {core} holds {block:#x} ({line.state.name}) "
+                f"unknown to directory")
+        assert len(unique_holders) <= 1, (
+            f"block {block:#x} unique at multiple cores: {unique_holders}")
+        if unique_holders:
+            assert holders == unique_holders, (
+                f"block {block:#x} unique at core {unique_holders[0]} "
+                f"but also held by {holders}")
+            assert entry is not None and entry.owner == unique_holders[0], (
+                f"block {block:#x} unique at core {unique_holders[0]} "
+                f"but directory owner={entry.owner if entry else None}")
+
+
+class CollectorSink(Sink):
+    """Keeps every event in memory (tests and ad-hoc analysis)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: EventKind) -> List[Event]:
+        return [ev for ev in self.events if ev.kind is kind]

@@ -30,9 +30,9 @@ from repro.frontend.isa import (AmoKind, MemOp, OpType, apply_amo)
 from repro.mem.address import AddressMap
 from repro.mem.hbm import HbmMemory
 from repro.noc.mesh import Mesh
-from repro.noc.message import MsgType, TrafficMeter
+from repro.noc.message import MsgType
 from repro.sim.config import SystemConfig
-from repro.sim.results import MachineStats
+from repro.sim.events import Event, EventBus, EventKind
 
 
 class DeferredRead:
@@ -60,27 +60,38 @@ class Machine:
         config: system parameters (Table II by default).
         policy_name: AMO placement policy; one instance is created per
             core from :mod:`repro.core.registry`.
+        bus: instrumentation bus; a fresh one (stock stats/traffic sinks
+            only) is created when omitted.  The machine and its
+            components emit typed events to it, and the hot-path
+            counters (``stats``, ``traffic``) are aliases of the bus's
+            fused stock-sink stores.
     """
 
-    def __init__(self, config: SystemConfig, policy_name: str = "all-near") -> None:
+    def __init__(self, config: SystemConfig, policy_name: str = "all-near",
+                 bus: Optional[EventBus] = None) -> None:
         self.config = config
         self.policy_name = policy_name
+        self.bus = bus if bus is not None else EventBus()
         self.mesh = Mesh(config.num_cores, config.llc_slices,
-                         config.router_latency, config.link_latency)
+                         config.router_latency, config.link_latency,
+                         bus=self.bus)
         self.addr_map = AddressMap(config.llc_slices, config.mem_channels)
         self.memory = HbmMemory(config.mem_channels, config.mem_latency,
                                 config.mem_service_cycles)
-        self.privates = [PrivateCacheHierarchy(config)
-                         for _ in range(config.num_cores)]
-        self.home_nodes = [HomeNode(s, config)
+        self.privates = [PrivateCacheHierarchy(config, core_id=c,
+                                               bus=self.bus)
+                         for c in range(config.num_cores)]
+        self.home_nodes = [HomeNode(s, config, bus=self.bus)
                            for s in range(config.llc_slices)]
         self.directory = DirectoryState()
         self.policies = [make_policy(policy_name, config)
                          for _ in range(config.num_cores)]
         self.policy_stats = [PolicyStats() for _ in range(config.num_cores)]
         self.values: Dict[int, int] = {}
-        self.traffic = TrafficMeter()
-        self.stats = MachineStats()
+        # Fused stock-sink stores (see repro.sim.events): mutating these
+        # directly IS the stats/traffic-sink accounting.
+        self.traffic = self.bus.traffic
+        self.stats = self.bus.stats
         # Store buffers: per-core deque of in-flight drain times plus the
         # last drain time (drains are forced monotonic = in-order drain).
         self._sb: List[Deque[int]] = [deque() for _ in range(config.num_cores)]
@@ -103,6 +114,7 @@ class Machine:
         value for AMO_LOAD, a :class:`DeferredRead` for READ (the engine
         resolves it at completion time), and None otherwise.
         """
+        self.bus.now = now
         kind = op.type
         if kind is OpType.THINK:
             return now + op.cycles, None
@@ -135,6 +147,9 @@ class Machine:
         if len(sb) >= self.config.store_buffer_entries:
             oldest = sb.popleft()
             self.stats.store_buffer_stalls += 1
+            if self.bus.active:
+                self.bus.emit(Event(EventKind.STORE_BUFFER_STALL, now, core,
+                                    info={"stalled_until": oldest}))
             visible = oldest + 1
         # Drains are in-order: a younger store cannot drain earlier.
         drain = max(drain_time, self._sb_last[core])
@@ -176,7 +191,7 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.traffic.record(MsgType.READ_REQ, req_hops)
+        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
         hn.busy_until = ordered + cfg.hn_occupancy
@@ -200,12 +215,13 @@ class Machine:
                 entry.drop(owner)
                 data_ready = t_dir + cfg.llc_latency
                 data_from_owner = False
-                self.traffic.record(MsgType.SNOOP,
+                self.mesh.record(MsgType.SNOOP,
                                     self.mesh.hops_slice_to_core(slice_id, owner))
-                self.traffic.record(MsgType.SNOOP_RESP,
+                self.mesh.record(MsgType.SNOOP_RESP,
                                     self.mesh.hops_slice_to_core(slice_id, owner))
             elif owner_line.state.is_dirty:
-                self._record_snoop_traffic(slice_id, owner, with_data=True)
+                self._record_snoop_traffic(slice_id, owner, with_data=True,
+                                           block=block)
                 if hn.llc_fill_if_room(block):
                     # HN takes the dirty copy; the old owner keeps a clean
                     # shared copy (the common CHI choice).
@@ -217,13 +233,16 @@ class Machine:
                     # the (rare) source of the SharedDirty state.
                     owner_priv.set_state(block, CacheState.SD)
                 self.stats.downgrades += 1
+                self._emit_downgrade(owner, block)
             else:  # UC owner: forwards clean data, drops to SC.
-                self._record_snoop_traffic(slice_id, owner, with_data=True)
+                self._record_snoop_traffic(slice_id, owner, with_data=True,
+                                           block=block)
                 owner_priv.set_state(block, CacheState.SC)
                 entry.owner = None
                 entry.sharers.add(owner)
                 self._llc_fill(hn, block)
                 self.stats.downgrades += 1
+                self._emit_downgrade(owner, block)
         elif hn.llc_lookup(block):
             data_ready = t_dir + cfg.llc_latency
         else:
@@ -237,13 +256,13 @@ class Machine:
                 slice_id, owner if owner is not None else core)
             resp_hops = self.mesh.hops(self.mesh.core_tile(owner),
                                        self.mesh.core_tile(core))
-            self.traffic.record(MsgType.COMP_DATA, resp_hops)
+            self.mesh.record(MsgType.COMP_DATA, resp_hops)
             done = data_ready + self.mesh.core_to_core(owner, core) \
                 + cfg.l1_latency
         else:
             entry.line_busy_until = data_ready
             resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
-            self.traffic.record(MsgType.COMP_DATA, resp_hops)
+            self.mesh.record(MsgType.COMP_DATA, resp_hops)
             done = data_ready + self.mesh.slice_to_core(slice_id, core) \
                 + cfg.l1_latency
 
@@ -257,6 +276,8 @@ class Machine:
             entry.sharers.discard(core)
             hn.llc_drop(block)
             hn.amo_buffer.invalidate(block)
+            if self.bus.active:
+                self._emit_handoff(block, owner, core)
         insert = self.privates[core].insert_l1(block, grant)
         self._handle_departures(core, insert.departures, now)
         return done
@@ -311,7 +332,7 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.traffic.record(MsgType.READ_REQ, req_hops)
+        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
         hn.busy_until = ordered + cfg.hn_occupancy
@@ -319,16 +340,19 @@ class Machine:
         # CHI-faithful flow: snoop responses return to the HN, which then
         # sends Comp.  With ``direct_inval_acks`` the acks instead travel
         # straight to the requestor and Comp is sent at ordering time.
+        prev_owner = entry.owner
         acks_done = self._invalidate_holders(slice_id, block, entry,
                                              exclude=core, now=now,
                                              t_dir=t_dir, ack_to=core)
+        if self.bus.active:
+            self._emit_handoff(block, prev_owner, core)
         entry.owner = core
         entry.sharers.clear()
         entry.line_busy_until = acks_done
         hn.llc_drop(block)
         hn.amo_buffer.invalidate(block)
         resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
-        self.traffic.record(MsgType.COMP_ACK, resp_hops)
+        self.mesh.record(MsgType.COMP_ACK, resp_hops)
         if self.config.direct_inval_acks:
             comp_at_core = t_dir + self.mesh.slice_to_core(slice_id, core)
             return max(comp_at_core, acks_done)
@@ -346,7 +370,7 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.traffic.record(MsgType.READ_REQ, req_hops)
+        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
         hn.busy_until = ordered + cfg.hn_occupancy
@@ -370,14 +394,16 @@ class Machine:
         elif hn.llc_lookup(block):
             data_at_core = (t_dir + cfg.llc_latency
                             + self.mesh.slice_to_core(slice_id, core))
-            self.traffic.record(MsgType.COMP_DATA,
+            self.mesh.record(MsgType.COMP_DATA,
                                 self.mesh.hops_slice_to_core(slice_id, core))
         else:
             data_at_core = (self._dram_read(block, t_dir)
                             + self.mesh.slice_to_core(slice_id, core))
-            self.traffic.record(MsgType.COMP_DATA,
+            self.mesh.record(MsgType.COMP_DATA,
                                 self.mesh.hops_slice_to_core(slice_id, core))
 
+        if self.bus.active:
+            self._emit_handoff(block, owner, core)
         entry.owner = core
         entry.sharers.clear()
         entry.line_busy_until = max(acks_done, data_at_core)
@@ -403,10 +429,12 @@ class Machine:
         state = priv.l1_state(block)
         if state.is_unique:
             placement = Placement.NEAR
+            decided = False
             self.stats.near_amo_unique_hits += 1
         else:
             policy = self.policies[core]
             placement = policy.decide(block, state, now)
+            decided = True
             self.policy_stats[core].record(placement)
         # Per-core atomic ordering: wait for the previous AMO to complete.
         start = max(now, self._amo_free[core])
@@ -415,6 +443,14 @@ class Machine:
         else:
             done, value = self._amo_far(core, op, block, start)
         self._amo_free[core] = max(self._amo_free[core], done)
+        bus = self.bus
+        if bus.active:
+            bus.emit(Event(
+                EventKind.AMO_NEAR if placement is Placement.NEAR
+                else EventKind.AMO_FAR,
+                start, core, block,
+                info={"op": op.type.name, "amo": op.amo.name,
+                      "decided": decided, "latency": done - start}))
         if op.type is OpType.AMO_STORE:
             # The core itself only waits for store-buffer admission (plus
             # any backlog from the atomic-ordering chain).
@@ -478,7 +514,7 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.traffic.record(MsgType.ATOMIC_REQ, req_hops)
+        self.mesh.record(MsgType.ATOMIC_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
         hn.busy_until = ordered + cfg.hn_occupancy
@@ -486,9 +522,13 @@ class Machine:
 
         dirty_holder = any(self._holder_is_dirty(h, block)
                            for h in entry.holders())
+        prev_owner = entry.owner
         snoop_done = self._invalidate_holders(slice_id, block, entry,
                                               exclude=None, now=now,
                                               t_dir=t_dir)
+        if self.bus.active:
+            # Ownership centralizes at the home node (agent -1).
+            self._emit_handoff(block, prev_owner, None)
         buffer_hit = hn.amo_buffer.access(block)
         if dirty_holder:
             data_ready = snoop_done
@@ -511,12 +551,12 @@ class Machine:
         resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
         if op.type is OpType.AMO_LOAD:
             self.stats.far_amo_loads += 1
-            self.traffic.record(MsgType.AMO_DATA, resp_hops)
+            self.mesh.record(MsgType.AMO_DATA, resp_hops)
             done = exec_done + self.mesh.slice_to_core(slice_id, core)
             self.stats.amo_latency_sum += done - now
             return done + cfg.commit_stall_overhead, old
         self.stats.far_amo_stores += 1
-        self.traffic.record(MsgType.COMP_ACK, resp_hops)
+        self.mesh.record(MsgType.COMP_ACK, resp_hops)
         ack = snoop_done + self.mesh.slice_to_core(slice_id, core)
         self.stats.amo_latency_sum += ack - now
         return ack, None
@@ -531,11 +571,15 @@ class Machine:
         return 2 * one_way + self.config.l1_latency
 
     def _record_snoop_traffic(self, slice_id: int, target: int,
-                              with_data: bool) -> None:
+                              with_data: bool, block: int = -1) -> None:
         hops = self.mesh.hops_slice_to_core(slice_id, target)
-        self.traffic.record(MsgType.SNOOP, hops)
-        self.traffic.record(
+        self.mesh.record(MsgType.SNOOP, hops)
+        self.mesh.record(
             MsgType.SNOOP_DATA if with_data else MsgType.SNOOP_RESP, hops)
+        bus = self.bus
+        if bus.active:
+            bus.emit(Event(EventKind.SNOOP, bus.now, target, block,
+                           info={"slice": slice_id, "with_data": with_data}))
 
     def _holder_is_dirty(self, core: int, block: int) -> bool:
         line, _lvl = self.privates[core].find(block)
@@ -570,7 +614,12 @@ class Machine:
             # forwards since the exclusive LLC has no copy.
             forwards_data = line.state.is_dirty or line.state is CacheState.UC
             self._record_snoop_traffic(slice_id, holder,
-                                       with_data=forwards_data)
+                                       with_data=forwards_data, block=block)
+            if self.bus.active:
+                self.bus.emit(Event(
+                    EventKind.INVALIDATION, self.bus.now, holder, block,
+                    info={"state": line.state.name, "requestor": ack_to,
+                          "was_in_l1": was_in_l1}))
             to_holder = self.mesh.slice_to_core(slice_id, holder)
             if ack_to is None or not self.config.direct_inval_acks:
                 back = to_holder
@@ -614,10 +663,10 @@ class Machine:
         if line.state is CacheState.SC:
             # LLC already has a copy from the shared grant; just tell the
             # directory.
-            self.traffic.record(MsgType.EVICT_NOTIFY, hops)
+            self.mesh.record(MsgType.EVICT_NOTIFY, hops)
             return
         # UC/UD/SD carry data back; the exclusive LLC allocates it.
-        self.traffic.record(MsgType.WRITEBACK, hops)
+        self.mesh.record(MsgType.WRITEBACK, hops)
         self._llc_fill(hn, block)
 
     def _llc_fill(self, hn: HomeNode, block: int) -> None:
@@ -627,15 +676,41 @@ class Machine:
             chan = self.addr_map.channel_of_block(victim.block)
             self.memory.access(chan, 0)
             self.stats.dram_writes += 1
-            self.traffic.record(MsgType.MEM_WRITE, 1)
+            self.mesh.record(MsgType.MEM_WRITE, 1)
+            if self.bus.active:
+                self.bus.emit(Event(EventKind.DRAM_WRITE, self.bus.now,
+                                    block=victim.block,
+                                    info={"channel": chan}))
 
     def _dram_read(self, block: int, issue_time: int) -> int:
         chan = self.addr_map.channel_of_block(block)
         done = self.memory.access(chan, issue_time)
         self.stats.dram_reads += 1
-        self.traffic.record(MsgType.MEM_READ, 1)
-        self.traffic.record(MsgType.MEM_DATA, 1)
+        self.mesh.record(MsgType.MEM_READ, 1)
+        self.mesh.record(MsgType.MEM_DATA, 1)
+        if self.bus.active:
+            self.bus.emit(Event(EventKind.DRAM_READ, issue_time, block=block,
+                                info={"channel": chan}))
         return done
+
+    # --- event emission helpers (only called when the bus is active) --
+
+    def _emit_downgrade(self, owner: int, block: int) -> None:
+        bus = self.bus
+        if bus.active:
+            bus.emit(Event(EventKind.DOWNGRADE, bus.now, owner, block))
+
+    def _emit_handoff(self, block: int, prev_owner: Optional[int],
+                      new_owner: Optional[int]) -> None:
+        """Record an exclusive-ownership transfer; -1 denotes the HN."""
+        if prev_owner == new_owner:
+            return
+        bus = self.bus
+        bus.emit(Event(
+            EventKind.LINE_HANDOFF, bus.now,
+            new_owner if new_owner is not None else -1, block,
+            info={"from": prev_owner if prev_owner is not None else -1,
+                  "to": new_owner if new_owner is not None else -1}))
 
     # ------------------------------------------------------------------
     # invariant checking (used by property tests)

@@ -42,6 +42,30 @@ class MachineStats:
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "MachineStats":
+        """Rebuild a counter block from :meth:`as_dict` output.
+
+        The field set must match exactly: a counter added or removed
+        since the dict was produced means the data describes a different
+        model, and silently resurrecting it would corrupt comparisons.
+
+        Raises:
+            ValueError: on unknown or missing counter names.
+        """
+        unknown = set(data) - set(cls.__slots__)
+        if unknown:
+            raise ValueError(
+                f"unknown MachineStats fields: {sorted(unknown)}")
+        missing = set(cls.__slots__) - set(data)
+        if missing:
+            raise ValueError(
+                f"missing MachineStats fields: {sorted(missing)}")
+        stats = cls()
+        for name, value in data.items():
+            setattr(stats, name, value)
+        return stats
+
 
 @dataclass
 class SimulationResult:

@@ -1,0 +1,256 @@
+"""Executor-layer tests: serialization fidelity, store safety, parallelism.
+
+The cache contract is strict round-tripping: what the store writes must
+deserialize to an equal result, anything it does not recognize must read
+as a miss (never as a half-populated result), and a parallel sweep must
+produce byte-identical cache files to a serial one.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.executor import (CacheSchemaError, ParallelExecutor,
+                                    ResultStore, SerialExecutor,
+                                    default_jobs, deserialize_result,
+                                    make_executor, make_spec,
+                                    serialize_result)
+from repro.harness.runner import Runner, speedups_vs_baseline
+from repro.noc.message import MsgType, TrafficMeter
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.results import MachineStats, SimulationResult
+
+# --- round-trip property test ----------------------------------------
+
+counts = st.integers(min_value=0, max_value=2**40)
+json_scalars = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20), st.booleans(), st.none())
+
+result_strategy = st.builds(
+    SimulationResult,
+    policy=st.sampled_from(["all-near", "unique-near", "dynamo-reuse-pn"]),
+    cycles=counts,
+    per_core_finish=st.lists(counts, max_size=8),
+    instructions=counts,
+    amos_committed=counts,
+    stats=st.fixed_dictionaries(
+        {name: counts for name in MachineStats.__slots__}
+    ).map(MachineStats.from_dict),
+    traffic=st.fixed_dictionaries(
+        {msg: counts for msg in MsgType}
+    ).map(lambda msgs: _meter(msgs)),
+    near_decisions=counts,
+    far_decisions=counts,
+    energy=st.dictionaries(st.text(min_size=1, max_size=10),
+                           st.floats(min_value=0, max_value=1e12),
+                           max_size=5),
+    metadata=st.dictionaries(st.text(min_size=1, max_size=10),
+                             json_scalars, max_size=5),
+)
+
+
+def _meter(msgs):
+    meter = TrafficMeter()
+    for msg, count in msgs.items():
+        meter.messages[msg] = count
+    meter.flits = sum(msg.flits * n for msg, n in msgs.items())
+    meter.flit_hops = 3 * meter.flits
+    return meter
+
+
+@settings(max_examples=50, deadline=None)
+@given(result=result_strategy)
+def test_serialize_round_trip(result):
+    """serialize -> JSON -> deserialize -> serialize is the identity."""
+    data = serialize_result(result)
+    wire = json.loads(json.dumps(data))
+    rebuilt = deserialize_result(wire)
+    assert serialize_result(rebuilt) == data
+    assert json.dumps(serialize_result(rebuilt), sort_keys=True) == \
+        json.dumps(data, sort_keys=True)
+    assert rebuilt.stats.as_dict() == result.stats.as_dict()
+    assert rebuilt.traffic.by_type() == result.traffic.by_type()
+    assert rebuilt.metadata == result.metadata
+
+
+# --- schema strictness ------------------------------------------------
+
+
+def _tiny_result():
+    return SimulationResult(
+        policy="all-near", cycles=100, per_core_finish=[100],
+        instructions=10, amos_committed=2, stats=MachineStats(),
+        traffic=TrafficMeter(), metadata={"workload": "X"})
+
+
+def test_deserialize_rejects_unknown_field():
+    data = serialize_result(_tiny_result())
+    data["surprise"] = 1
+    with pytest.raises(CacheSchemaError, match="surprise"):
+        deserialize_result(data)
+
+
+def test_deserialize_rejects_missing_field():
+    data = serialize_result(_tiny_result())
+    del data["near_decisions"]
+    with pytest.raises(CacheSchemaError, match="near_decisions"):
+        deserialize_result(data)
+
+
+def test_deserialize_rejects_stats_drift():
+    data = serialize_result(_tiny_result())
+    data["stats"]["new_counter"] = 7
+    with pytest.raises(CacheSchemaError, match="new_counter"):
+        deserialize_result(data)
+    data = serialize_result(_tiny_result())
+    del data["stats"]["snoops"]
+    with pytest.raises(CacheSchemaError, match="snoops"):
+        deserialize_result(data)
+
+
+def test_deserialize_rejects_unknown_message_type():
+    data = serialize_result(_tiny_result())
+    data["messages"]["WARP_DRIVE"] = 3
+    with pytest.raises(CacheSchemaError, match="WARP_DRIVE"):
+        deserialize_result(data)
+
+
+def test_machine_stats_from_dict_names_fields():
+    with pytest.raises(ValueError, match="bogus"):
+        MachineStats.from_dict({"bogus": 1})
+
+
+# --- the store --------------------------------------------------------
+
+SPEC = make_spec("HIST", "all-near", threads=4, scale=0.1)
+
+
+def test_store_miss_on_schema_drift(tmp_path):
+    """A cache file from a different revision re-runs, never resurrects."""
+    store = ResultStore(str(tmp_path))
+    data = serialize_result(_tiny_result())
+    data["from_the_future"] = True
+    with open(store.path_for(SPEC), "w") as fh:
+        json.dump(data, fh)
+    assert store.load(SPEC) is None
+
+
+def test_store_miss_on_corrupt_json(tmp_path):
+    store = ResultStore(str(tmp_path))
+    with open(store.path_for(SPEC), "w") as fh:
+        fh.write('{"policy": "all-ne')  # torn write from a crashed run
+    assert store.load(SPEC) is None
+
+
+def test_store_round_trip_and_memo(tmp_path):
+    store = ResultStore(str(tmp_path))
+    result = _tiny_result()
+    store.store(SPEC, result)
+    assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")], \
+        "temp files must never outlive a store"
+    loaded = store.load(SPEC)
+    assert loaded is result, "memo should serve the stored object"
+    fresh = ResultStore(str(tmp_path))
+    first = fresh.load(SPEC)
+    assert first is not None
+    assert fresh.load(SPEC) is first, "second load must hit the memo"
+    assert serialize_result(first) == serialize_result(result)
+
+
+def test_store_disabled_keeps_memo_only(tmp_path):
+    store = ResultStore(str(tmp_path / "never-created"), enabled=False)
+    store.store(SPEC, _tiny_result())
+    assert store.load(SPEC) is None, "disabled store must not serve hits"
+    assert not (tmp_path / "never-created").exists()
+
+
+# --- spec planning ----------------------------------------------------
+
+
+def test_spec_resolves_config_from_overrides():
+    config = DEFAULT_CONFIG.replace(amo_buffer_entries=0, router_latency=3)
+    spec = make_spec("HIST", "all-near", threads=4, config=config)
+    assert spec.resolve_config() == config
+    assert make_spec("HIST", "all-near", threads=4).resolve_config() \
+        is DEFAULT_CONFIG
+
+
+def test_spec_rejects_too_many_threads():
+    with pytest.raises(ValueError, match="cores"):
+        make_spec("HIST", "all-near",
+                  threads=DEFAULT_CONFIG.num_cores + 1)
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    assert isinstance(make_executor(), ParallelExecutor)
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert isinstance(make_executor(), SerialExecutor)
+    with pytest.raises(ValueError, match="jobs"):
+        make_executor(jobs=0)
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+
+
+# --- serial vs parallel determinism -----------------------------------
+
+GRID_WORKLOADS = ("HIST", "SPMV")
+GRID_POLICIES = ("all-near", "unique-near", "dirty-near")
+
+
+def _cache_bytes(cache_dir):
+    return {name: open(os.path.join(cache_dir, name), "rb").read()
+            for name in sorted(os.listdir(cache_dir))}
+
+
+def test_parallel_matches_serial_on_fig7_subgrid(tmp_path):
+    """Cold-cache parallel sweep is byte-identical to the serial one."""
+    serial = Runner(cache_dir=str(tmp_path / "serial"), jobs=1)
+    parallel = Runner(cache_dir=str(tmp_path / "parallel"), jobs=4)
+    assert isinstance(serial._executor, SerialExecutor)
+    assert isinstance(parallel._executor, ParallelExecutor)
+    kwargs = dict(threads=4, scale=0.1)
+    grid_s = serial.sweep(GRID_WORKLOADS, GRID_POLICIES, **kwargs)
+    grid_p = parallel.sweep(GRID_WORKLOADS, GRID_POLICIES, **kwargs)
+    for wl in GRID_WORKLOADS:
+        for pol in GRID_POLICIES:
+            assert serialize_result(grid_p[wl][pol]) == \
+                serialize_result(grid_s[wl][pol]), (wl, pol)
+    speed_s = speedups_vs_baseline(grid_s)
+    speed_p = speedups_vs_baseline(grid_p)
+    assert speed_s == speed_p
+    assert _cache_bytes(tmp_path / "serial") == \
+        _cache_bytes(tmp_path / "parallel")
+
+
+def test_parallel_deduplicates_and_orders(tmp_path):
+    runner = Runner(cache_dir=str(tmp_path), jobs=2)
+    spec = runner.make_spec("HIST", "all-near", threads=4, scale=0.1)
+    other = runner.make_spec("HIST", "unique-near", threads=4, scale=0.1)
+    results = runner.run_specs([spec, other, spec])
+    assert results[0] is results[2], "duplicate specs run once"
+    assert results[0].policy == "all-near"
+    assert results[1].policy == "unique-near"
+
+
+# --- error reporting --------------------------------------------------
+
+
+def test_speedups_require_baseline(tmp_runner):
+    grid = tmp_runner.sweep(["HIST"], ["unique-near"],
+                            threads=4, scale=0.1)
+    with pytest.raises(ValueError) as err:
+        speedups_vs_baseline(grid)
+    assert "all-near" in str(err.value)
+    assert "HIST" in str(err.value)
