@@ -12,6 +12,15 @@ Commands:
 * ``repro table {1,2,3,4}`` — print a paper table.
 * ``repro cost [--entries N] [--ways W] [--counter-bits B]`` — AMT
   hardware cost (paper Section VI-G).
+* ``repro profile --workload W [--policy P] ...`` — run one cell with
+  the observability sinks attached and render a diagnostics report
+  (latency percentiles, interval time-series, top-contended lines);
+  ``--save``/``--load`` persist/replay the profiled result as JSON.
+* ``repro perfetto TRACE.jsonl OUT.json`` — convert a ``--trace`` run
+  to Chrome trace-event format (Perfetto / ``chrome://tracing``).
+* ``repro bench [--check]`` — run the pinned micro-grid and append a
+  wall-time record to ``BENCH_history.json``; ``--check`` exits
+  non-zero on >15% wall-time regression.
 """
 
 from __future__ import annotations
@@ -27,6 +36,22 @@ from repro.harness.runner import Runner
 from repro.harness.tables import TABLES
 from repro.sim.config import DEFAULT_CONFIG, PAPER_CONFIG
 from repro.workloads import TABLE_III_CODES, WORKLOADS
+
+
+def _workload_code(raw: str) -> str:
+    """Resolve a workload given as Table III code or human name.
+
+    ``HIST``, ``hist`` and ``histogram`` all resolve to ``HIST``.
+    """
+    code = raw.strip().upper()
+    if code in WORKLOADS:
+        return code
+    lowered = raw.strip().lower()
+    for candidate, registered in WORKLOADS.items():
+        if registered.spec.name.lower() == lowered:
+            return candidate
+    raise argparse.ArgumentTypeError(
+        f"unknown workload {raw!r} (try `repro list`)")
 
 
 def _figure_name(raw: str) -> str:
@@ -77,6 +102,50 @@ def _build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--entries", type=int, default=128)
     cost.add_argument("--ways", type=int, default=4)
     cost.add_argument("--counter-bits", type=int, default=5)
+
+    prof = sub.add_parser(
+        "profile", help="run one cell with observability sinks attached "
+                        "and render a diagnostics report")
+    prof.add_argument("--workload", type=_workload_code, default=None,
+                      help="Table III code or name (e.g. HIST or histogram)")
+    prof.add_argument("--policy", default="all-near",
+                      choices=sorted(POLICIES))
+    prof.add_argument("--threads", type=int, default=None)
+    prof.add_argument("--scale", type=float, default=1.0)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--input", dest="input_name", default=None)
+    prof.add_argument("--paper-system", action="store_true",
+                      help="use the full Table II system (32 cores)")
+    prof.add_argument("--interval", type=int, default=None,
+                      help="time-series sampling period in cycles "
+                           "(default: auto)")
+    prof.add_argument("--top", type=int, default=10,
+                      help="contended-line rows to show")
+    prof.add_argument("--save", metavar="FILE", default=None,
+                      help="also write the profiled result (with "
+                           "histogram/interval payloads) as JSON")
+    prof.add_argument("--load", metavar="FILE", default=None,
+                      help="render a previously --save'd profile "
+                           "instead of simulating")
+
+    perf = sub.add_parser(
+        "perfetto", help="convert a --trace JSONL file to Chrome "
+                         "trace-event JSON (Perfetto/chrome://tracing)")
+    perf.add_argument("trace", help="JSONL trace from `repro run --trace`")
+    perf.add_argument("output", help="Chrome trace-event JSON to write")
+
+    bench = sub.add_parser(
+        "bench", help="run the pinned micro-grid and append wall-time "
+                      "numbers to the benchmark history")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (part of the record key)")
+    bench.add_argument("--history", metavar="FILE", default=None,
+                       help="history file (default: BENCH_history.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero on >15%% wall-time regression "
+                            "vs recent history")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure and check without recording")
     return parser
 
 
@@ -137,6 +206,59 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.executor import make_spec
+    from repro.obs.report import (load_profile, profile_spec,
+                                  render_profile, save_profile)
+    from repro.obs.timeseries import DEFAULT_INTERVAL
+
+    if args.load is not None:
+        if args.workload is not None:
+            print("profile: --load renders a saved profile; "
+                  "--workload is ignored", file=sys.stderr)
+        result = load_profile(args.load)
+        print(render_profile(result, top=args.top))
+        return 0
+    if args.workload is None:
+        print("profile: --workload is required (unless --load is given)",
+              file=sys.stderr)
+        return 2
+    config = PAPER_CONFIG if args.paper_system else DEFAULT_CONFIG
+    spec = make_spec(args.workload, args.policy, threads=args.threads,
+                     scale=args.scale, seed=args.seed,
+                     input_name=args.input_name, config=config)
+    interval = args.interval if args.interval else DEFAULT_INTERVAL
+    result = profile_spec(spec, interval=interval)
+    print(render_profile(result, top=args.top))
+    if args.save:
+        save_profile(result, args.save)
+        print(f"\nprofile saved -> {args.save}")
+    return 0
+
+
+def _cmd_perfetto(args: argparse.Namespace) -> int:
+    from repro.obs.perfetto import TraceFormatError, convert_file
+
+    try:
+        written = convert_file(args.trace, args.output)
+    except (OSError, TraceFormatError) as exc:
+        print(f"perfetto: {exc}", file=sys.stderr)
+        return 1
+    print(f"{written} trace events -> {args.output} "
+          f"(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import DEFAULT_HISTORY, bench_main
+
+    code, report = bench_main(
+        history_path=args.history or DEFAULT_HISTORY,
+        jobs=args.jobs, check=args.check, append=not args.no_append)
+    print(report)
+    return code
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     cost = amt_cost(args.entries, args.ways, args.counter_bits)
     print(cost.describe())
@@ -157,6 +279,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "cost":
         return _cmd_cost(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "perfetto":
+        return _cmd_perfetto(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -72,6 +72,15 @@ class AmoMetadataTable(Generic[E]):
         table_set[block] = entry
         return victim
 
+    def items(self):
+        """Iterate resident ``(block, entry)`` pairs (observability only).
+
+        No LRU or hit/miss effects — safe to call mid-simulation without
+        perturbing predictor state.
+        """
+        for table_set in self._sets:
+            yield from table_set.items()
+
     def __contains__(self, block: int) -> bool:
         return block in self._sets[block % self.num_sets]
 

@@ -31,9 +31,11 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.energy.model import EnergySink
 from repro.noc.message import MsgType, TrafficMeter
@@ -271,6 +273,54 @@ class ResultStore:
             raise
 
 
+# --- sweep progress -------------------------------------------------------
+
+def spec_label(spec: RunSpec) -> str:
+    """Compact human label for one cell (progress lines, reports)."""
+    label = f"{spec.workload}/{spec.policy}"
+    if spec.input_name:
+        label += f":{spec.input_name}"
+    label += f" t{spec.threads}"
+    if spec.scale != 1.0:
+        label += f" x{spec.scale:g}"
+    return label
+
+
+class SweepProgress:
+    """Per-completed-cell progress lines for long sweeps.
+
+    Cold figure grids simulate for minutes with no output; this emits
+    one ``[k/n] spec-label (t.ts)`` line to stderr as each *simulated*
+    cell completes (cache hits are instant and not worth a line).
+    Output is suppressed when stderr is not a TTY — CI logs and shell
+    pipelines stay clean — and ``$REPRO_PROGRESS`` overrides the TTY
+    check ("1" forces lines on, "0" forces them off).
+    """
+
+    def __init__(self, total: int, stream: Optional[IO[str]] = None) -> None:
+        self.total = total
+        self.done = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._t0 = time.monotonic()
+        forced = os.environ.get("REPRO_PROGRESS", "").strip()
+        if forced == "1":
+            self.enabled = total > 0
+        elif forced == "0":
+            self.enabled = False
+        else:
+            isatty = getattr(self._stream, "isatty", None)
+            self.enabled = (total > 0 and isatty is not None and isatty())
+
+    def step(self, spec: RunSpec) -> None:
+        """Record (and maybe print) one completed simulation."""
+        self.done += 1
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self._t0
+        print(f"[{self.done}/{self.total}] {spec_label(spec)} "
+              f"({elapsed:.1f}s)", file=self._stream, flush=True)
+
+
 # --- execution ------------------------------------------------------------
 
 def execute_spec(spec: RunSpec,
@@ -292,13 +342,17 @@ def execute_spec(spec: RunSpec,
     for addr, value in wl.initial_values().items():
         machine.poke_value(addr, value)
     result = engine_run(machine, wl.programs(), max_cycles=MAX_CYCLES)
-    result.metadata = {
+    # Merge rather than assign: observability sinks annotate metadata at
+    # finalize time (histograms, interval series, contention tables) and
+    # those payloads must survive.  Default mode (no extra sinks) starts
+    # from an empty dict, so cache files stay byte-identical.
+    result.metadata.update({
         "workload": spec.workload,
         "input": wl.input_name,
         "threads": spec.threads,
         "scale": spec.scale,
         "amo_footprint_bytes": wl.amo_footprint_bytes,
-    }
+    })
     bus.close()
     return result
 
@@ -330,7 +384,24 @@ class SerialExecutor:
         return result
 
     def run_many(self, specs: Iterable[RunSpec]) -> List[SimulationResult]:
-        return [self.run(spec) for spec in specs]
+        specs = list(specs)
+        results: List[Optional[SimulationResult]] = [
+            self.store.load(spec) for spec in specs]
+        progress = SweepProgress(sum(1 for r in results if r is None))
+        for i, spec in enumerate(specs):
+            if results[i] is not None:
+                continue
+            # A duplicate spec earlier in the batch may have filled the
+            # memo since the first cache pass.
+            cached = self.store.load(spec)
+            if cached is not None:
+                results[i] = cached
+                continue
+            result = execute_spec(spec)
+            self.store.store(spec, result)
+            results[i] = result
+            progress.step(spec)
+        return results  # type: ignore[return-value]
 
 
 class ParallelExecutor:
@@ -363,6 +434,7 @@ class ParallelExecutor:
             else:
                 misses.setdefault(spec.cache_key(), (spec, []))[1].append(i)
         if misses:
+            progress = SweepProgress(len(misses))
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
                     pool.submit(_execute_serialized, spec): (spec, idxs)
@@ -373,6 +445,7 @@ class ParallelExecutor:
                     self.store.store(spec, result)
                     for i in idxs:
                         results[i] = result
+                    progress.step(spec)
         return results  # type: ignore[return-value]
 
 

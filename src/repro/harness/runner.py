@@ -7,6 +7,10 @@ results on disk (keyed by every input that affects the outcome) so that
 e.g. the Fig. 8 benchmark reuses the All Near baselines that Fig. 7
 already simulated.  Pass ``jobs`` (or set ``$REPRO_JOBS``) to fan sweeps
 out over worker processes.
+
+Long sweeps report progress: when stderr is a TTY the executor prints a
+``[k/n] workload/policy (t.ts)`` line per simulated cell (cache hits are
+silent); ``REPRO_PROGRESS=1`` / ``=0`` force it on / off.
 """
 
 from __future__ import annotations

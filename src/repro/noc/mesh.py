@@ -63,12 +63,18 @@ class Mesh:
         self._core_tile = [self._tile_for(2 * i) for i in range(num_cores)]
         self._slice_tile = [self._tile_for(2 * i + 1) for i in range(num_slices)]
 
-    def record(self, msg: MsgType, hops: int, count: int = 1) -> None:
+    def record(self, msg: MsgType, hops: int, count: int = 1,
+               enqueue: Optional[int] = None,
+               dequeue: Optional[int] = None) -> None:
         """Account ``count`` messages of class ``msg`` travelling ``hops``.
 
         The mesh is the single gateway for protocol-message accounting:
         it feeds the fused traffic meter and, when event sinks are
-        attached, emits a MESSAGE event per call.
+        attached, emits a MESSAGE event per call.  Request messages that
+        serialize at a home node pass ``enqueue`` (arrival cycle at the
+        ordering point) and ``dequeue`` (the cycle the HN started
+        servicing them); the difference is the message's queueing delay,
+        which observability sinks histogram.
         """
         bus = self.bus
         if bus is None:
@@ -79,9 +85,11 @@ class Mesh:
             # in repro.noc.message, so a top-level import would be
             # circular for any entry through the noc package.
             from repro.sim.events import Event, EventKind
-            bus.emit(Event(EventKind.MESSAGE, bus.now,
-                           info={"msg": msg.name, "hops": hops,
-                                 "count": count}))
+            info: dict = {"msg": msg.name, "hops": hops, "count": count}
+            if enqueue is not None and dequeue is not None:
+                info["enqueue"] = enqueue
+                info["dequeue"] = dequeue
+            bus.emit(Event(EventKind.MESSAGE, bus.now, info=info))
 
     def _tile_for(self, tile_id: int) -> Tuple[int, int]:
         total = self.cols * self.rows

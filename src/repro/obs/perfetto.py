@@ -1,0 +1,220 @@
+"""Convert JSONL simulation traces to Chrome trace-event format.
+
+``repro run --trace FILE`` (the :class:`~repro.sim.events.TraceSink`)
+writes one JSON object per simulation event.  This module converts such
+a trace into the Chrome trace-event JSON that Perfetto and
+``chrome://tracing`` load natively, with one track per core plus
+dedicated home-node and mesh tracks:
+
+* AMO executions and store-buffer stalls become duration ("X") events on
+  the issuing core's track, so contention shows up as visibly long
+  slices;
+* snoops, invalidations, downgrades and L1 evictions become instant
+  events on the affected core's track;
+* LLC/DRAM accesses and home-node-owned line handoffs land on the
+  home-node track;
+* NoC messages land on the mesh track — queued requests (those carrying
+  ``enqueue``/``dequeue`` stamps) as duration events spanning their
+  queueing delay, the rest as instants.
+
+Timestamps map one simulated cycle to one microsecond, the trace-event
+format's native unit, so cycle counts read directly off the Perfetto
+ruler.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Union
+
+#: Synthetic process ids grouping the tracks.
+PID_CORES = 1
+PID_HOME_NODES = 2
+PID_MESH = 3
+
+#: Event kinds rendered as duration slices on the core track.
+_CORE_DURATION_KINDS = {"amo-near", "amo-far"}
+#: Event kinds rendered as instants on the core track.
+_CORE_INSTANT_KINDS = {"snoop", "invalidation", "downgrade", "l1-eviction"}
+#: Event kinds rendered on the home-node track.
+_HOME_KINDS = {"llc-access", "dram-read", "dram-write"}
+
+
+class TraceFormatError(ValueError):
+    """A trace record could not be interpreted."""
+
+
+def _process_meta(pid: int, name: str) -> Dict:
+    return {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": name}}
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> Dict:
+    return {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def _args(record: Dict) -> Dict:
+    """Kind-specific payload fields, minus the positional ones."""
+    return {k: v for k, v in record.items()
+            if k not in ("kind", "cycle", "core", "block")}
+
+
+def convert_events(records: Iterable[Dict]) -> Dict:
+    """Convert trace records (dicts) to a Chrome trace-event document.
+
+    Returns the full JSON-object form (``{"traceEvents": [...]}``);
+    events are sorted by timestamp so viewers never see out-of-order
+    slices.
+
+    Raises:
+        TraceFormatError: on records missing the ``kind``/``cycle``
+            fields every :class:`~repro.sim.events.Event` carries.
+    """
+    events: List[Dict] = []
+    cores_seen = set()
+    home_seen = set()
+    mesh_seen = False
+    for i, record in enumerate(records):
+        try:
+            kind = record["kind"]
+            cycle = record["cycle"]
+        except (TypeError, KeyError):
+            raise TraceFormatError(
+                f"record {i}: not a simulation event: {record!r}") from None
+        core = record.get("core", -1)
+        block = record.get("block", -1)
+        if kind in _CORE_DURATION_KINDS:
+            cores_seen.add(core)
+            events.append({
+                "ph": "X", "pid": PID_CORES, "tid": core,
+                "ts": cycle, "dur": max(record.get("latency", 0), 1),
+                "name": f"{kind} {record.get('amo', '')}".strip(),
+                "cat": "amo",
+                "args": {"block": block, **_args(record)},
+            })
+        elif kind == "store-buffer-stall":
+            cores_seen.add(core)
+            events.append({
+                "ph": "X", "pid": PID_CORES, "tid": core,
+                "ts": cycle,
+                "dur": max(record.get("stalled_until", cycle) - cycle, 1),
+                "name": kind, "cat": "core",
+                "args": _args(record),
+            })
+        elif kind in _CORE_INSTANT_KINDS:
+            cores_seen.add(core)
+            events.append({
+                "ph": "i", "s": "t", "pid": PID_CORES, "tid": core,
+                "ts": cycle, "name": kind, "cat": "coherence",
+                "args": {"block": block, **_args(record)},
+            })
+        elif kind in _HOME_KINDS:
+            # LLC accesses carry their slice, DRAM events their channel;
+            # either becomes a sub-track of the home-node process.
+            tid = record.get("slice", record.get("channel", 0))
+            home_seen.add(tid)
+            events.append({
+                "ph": "i", "s": "t", "pid": PID_HOME_NODES, "tid": tid,
+                "ts": cycle, "name": kind, "cat": "memory",
+                "args": {"block": block, **_args(record)},
+            })
+        elif kind == "line-handoff":
+            track_home = core < 0
+            if track_home:
+                home_seen.add(0)
+            else:
+                cores_seen.add(core)
+            events.append({
+                "ph": "i", "s": "t",
+                "pid": PID_HOME_NODES if track_home else PID_CORES,
+                "tid": 0 if track_home else core,
+                "ts": cycle, "name": kind, "cat": "coherence",
+                "args": {"block": block, **_args(record)},
+            })
+        elif kind == "message":
+            mesh_seen = True
+            enqueue = record.get("enqueue")
+            if enqueue is not None:
+                events.append({
+                    "ph": "X", "pid": PID_MESH, "tid": 0,
+                    "ts": enqueue,
+                    "dur": max(record.get("dequeue", enqueue) - enqueue, 1),
+                    "name": f"queue {record.get('msg', 'message')}",
+                    "cat": "noc", "args": _args(record),
+                })
+            else:
+                events.append({
+                    "ph": "i", "s": "t", "pid": PID_MESH, "tid": 0,
+                    "ts": cycle, "name": record.get("msg", kind),
+                    "cat": "noc", "args": _args(record),
+                })
+        else:
+            # Unknown kinds (future event classes) stay visible rather
+            # than silently disappearing from the exported trace.
+            mesh_seen = True
+            events.append({
+                "ph": "i", "s": "t", "pid": PID_MESH, "tid": 0,
+                "ts": cycle, "name": kind, "cat": "other",
+                "args": {"block": block, "core": core, **_args(record)},
+            })
+    events.sort(key=lambda ev: (ev["ts"], ev["pid"], ev["tid"]))
+    meta: List[Dict] = []
+    if cores_seen:
+        meta.append(_process_meta(PID_CORES, "cores"))
+        for core in sorted(cores_seen):
+            meta.append(_thread_meta(PID_CORES, core, f"core {core}"))
+    if home_seen:
+        meta.append(_process_meta(PID_HOME_NODES, "home-nodes"))
+        for tid in sorted(home_seen):
+            meta.append(_thread_meta(PID_HOME_NODES, tid,
+                                     f"slice/channel {tid}"))
+    if mesh_seen:
+        meta.append(_process_meta(PID_MESH, "mesh"))
+        meta.append(_thread_meta(PID_MESH, 0, "NoC"))
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro trace",
+                      "time_unit": "1 ts = 1 simulated cycle"},
+    }
+
+
+def load_jsonl(source: Union[str, IO[str]]) -> List[Dict]:
+    """Parse a :class:`~repro.sim.events.TraceSink` JSONL stream.
+
+    Raises:
+        TraceFormatError: on lines that are not valid JSON objects.
+    """
+    if isinstance(source, str):
+        with open(source) as fh:
+            return load_jsonl(fh)
+    records: List[Dict] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {lineno}: invalid JSON ({exc})") from None
+        if not isinstance(record, dict):
+            raise TraceFormatError(
+                f"line {lineno}: expected an object, got {type(record).__name__}")
+        records.append(record)
+    return records
+
+
+def convert_file(src: Union[str, IO[str]], dst: Union[str, IO[str]]) -> int:
+    """Convert a JSONL trace file to a Chrome trace-event JSON file.
+
+    Returns the number of (non-metadata) trace events written.
+    """
+    document = convert_events(load_jsonl(src))
+    if isinstance(dst, str):
+        with open(dst, "w") as fh:
+            json.dump(document, fh)
+    else:
+        json.dump(document, dst)
+    return sum(1 for ev in document["traceEvents"] if ev["ph"] != "M")

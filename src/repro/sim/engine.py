@@ -46,6 +46,7 @@ def run(machine: Machine, programs: Iterable[Program],
     if len(progs) > machine.config.num_cores:
         raise ValueError(
             f"{len(progs)} programs for {machine.config.num_cores} cores")
+    machine.bus.bind(machine)
 
     iterators = [prog.run(core) for core, prog in enumerate(progs)]
     finish = [0] * len(progs)

@@ -107,6 +107,14 @@ class Sink:
     #: True when this sink must receive every Event via :meth:`on_event`.
     wants_events = True
 
+    def bind_machine(self, machine) -> None:
+        """Run-start hook: the engine announces the machine under test.
+
+        Sinks that sample live component state (policy tables, directory
+        occupancy) grab their references here; the default is a no-op so
+        sinks stay constructible without a machine (tests, offline use).
+        """
+
     def on_event(self, event: Event) -> None:
         """Receive one event (only called when ``wants_events``)."""
 
@@ -190,6 +198,11 @@ class EventBus:
                 sink.on_event(event)
 
     # --- lifecycle ----------------------------------------------------
+
+    def bind(self, machine) -> None:
+        """Announce the machine to every sink (called once per run)."""
+        for sink in self._sinks:
+            sink.bind_machine(machine)
 
     def finalize(self, result) -> None:
         """Let every sink annotate the finished result."""

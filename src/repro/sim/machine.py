@@ -191,9 +191,10 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        self.mesh.record(MsgType.READ_REQ, req_hops,
+                         enqueue=arrive, dequeue=ordered)
         hn.busy_until = ordered + cfg.hn_occupancy
         t_dir = ordered + cfg.directory_latency
 
@@ -332,9 +333,10 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        self.mesh.record(MsgType.READ_REQ, req_hops,
+                         enqueue=arrive, dequeue=ordered)
         hn.busy_until = ordered + cfg.hn_occupancy
         t_dir = ordered + cfg.directory_latency
         # CHI-faithful flow: snoop responses return to the HN, which then
@@ -370,9 +372,10 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.mesh.record(MsgType.READ_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        self.mesh.record(MsgType.READ_REQ, req_hops,
+                         enqueue=arrive, dequeue=ordered)
         hn.busy_until = ordered + cfg.hn_occupancy
         t_dir = ordered + cfg.directory_latency
 
@@ -445,12 +448,16 @@ class Machine:
         self._amo_free[core] = max(self._amo_free[core], done)
         bus = self.bus
         if bus.active:
+            info = {"op": op.type.name, "amo": op.amo.name,
+                    "decided": decided, "latency": done - start}
+            if op.amo is AmoKind.CAS:
+                # Lock-acquire observability: a CAS succeeded iff the old
+                # value it returned equals the comparand.
+                info["cas_ok"] = value == op.expected
             bus.emit(Event(
                 EventKind.AMO_NEAR if placement is Placement.NEAR
                 else EventKind.AMO_FAR,
-                start, core, block,
-                info={"op": op.type.name, "amo": op.amo.name,
-                      "decided": decided, "latency": done - start}))
+                start, core, block, info=info))
         if op.type is OpType.AMO_STORE:
             # The core itself only waits for store-buffer admission (plus
             # any backlog from the atomic-ordering chain).
@@ -514,9 +521,10 @@ class Machine:
         hn = self.home_nodes[slice_id]
         entry = self.directory.entry(block)
         req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        self.mesh.record(MsgType.ATOMIC_REQ, req_hops)
         arrive = now + self.mesh.core_to_slice(core, slice_id)
         ordered = max(arrive, entry.line_busy_until, hn.busy_until)
+        self.mesh.record(MsgType.ATOMIC_REQ, req_hops,
+                         enqueue=arrive, dequeue=ordered)
         hn.busy_until = ordered + cfg.hn_occupancy
         t_dir = ordered + cfg.directory_latency
 

@@ -117,9 +117,17 @@ class SimulationResult:
         return 1000.0 * updates / self.cycles
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
-        """Execution-time speed-up of this run relative to ``baseline``."""
+        """Execution-time speed-up of this run relative to ``baseline``.
+
+        Raises:
+            ValueError: when either run reports zero cycles — a
+                zero-cycle run never executed, so the ratio is
+                meaningless in both directions.
+        """
         if self.cycles == 0:
             raise ValueError("run completed in zero cycles")
+        if baseline.cycles == 0:
+            raise ValueError("baseline completed in zero cycles")
         return baseline.cycles / self.cycles
 
     def summary(self) -> str:
@@ -128,6 +136,8 @@ class SimulationResult:
             f"policy={self.policy} cycles={self.cycles} "
             f"instrs={self.instructions} apki={self.apki:.2f} "
             f"amos={s.total_amos} (near={s.near_amos} far={s.far_amos}) "
+            f"decisions=(near={self.near_decisions} "
+            f"far={self.far_decisions}) "
             f"avg_amo_lat={self.avg_amo_latency:.1f} "
             f"energy={self.total_energy:.1f}nJ"
         )

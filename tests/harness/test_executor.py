@@ -254,3 +254,71 @@ def test_speedups_require_baseline(tmp_runner):
         speedups_vs_baseline(grid)
     assert "all-near" in str(err.value)
     assert "HIST" in str(err.value)
+
+
+# --- sweep progress ---------------------------------------------------
+
+
+class _FakeTTY:
+    def __init__(self, tty=True):
+        self.lines = []
+        self._tty = tty
+
+    def isatty(self):
+        return self._tty
+
+    def write(self, text):
+        self.lines.append(text)
+
+    def flush(self):
+        pass
+
+
+def test_spec_label_formats_the_cell():
+    from repro.harness.executor import spec_label
+    spec = make_spec("HIST", "dynamo-reuse-pn", threads=8, scale=0.5)
+    assert spec_label(spec) == "HIST/dynamo-reuse-pn t8 x0.5"
+    full = make_spec("COUNTER", "all-near", threads=4)
+    assert spec_label(full) == "COUNTER/all-near t4"
+
+
+def test_progress_prints_to_a_tty(monkeypatch):
+    from repro.harness.executor import SweepProgress
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    stream = _FakeTTY(tty=True)
+    progress = SweepProgress(2, stream=stream)
+    spec = make_spec("HIST", "all-near", threads=4, scale=0.1)
+    progress.step(spec)
+    progress.step(spec)
+    text = "".join(stream.lines)
+    assert "[1/2] HIST/all-near t4 x0.1" in text
+    assert "[2/2]" in text
+
+
+def test_progress_suppressed_without_a_tty(monkeypatch):
+    from repro.harness.executor import SweepProgress
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    stream = _FakeTTY(tty=False)
+    progress = SweepProgress(3, stream=stream)
+    progress.step(make_spec("HIST", "all-near", threads=4))
+    assert stream.lines == []
+    assert progress.done == 1, "counting continues even when quiet"
+
+
+def test_progress_env_override(monkeypatch):
+    from repro.harness.executor import SweepProgress
+    spec = make_spec("HIST", "all-near", threads=4)
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    forced_on = SweepProgress(1, stream=_FakeTTY(tty=False))
+    forced_on.step(spec)
+    assert forced_on._stream.lines
+    monkeypatch.setenv("REPRO_PROGRESS", "0")
+    forced_off = SweepProgress(1, stream=_FakeTTY(tty=True))
+    forced_off.step(spec)
+    assert forced_off._stream.lines == []
+
+
+def test_progress_disabled_for_empty_sweeps(monkeypatch):
+    from repro.harness.executor import SweepProgress
+    monkeypatch.setenv("REPRO_PROGRESS", "1")
+    assert not SweepProgress(0, stream=_FakeTTY()).enabled

@@ -1,0 +1,207 @@
+"""Log2 histogram tests: bucketing, percentiles, serialization, the sink."""
+
+import pytest
+
+from repro.obs.histogram import (NUM_BUCKETS, HistogramSink, Log2Histogram,
+                                 bucket_of, histograms_from_metadata)
+from repro.sim.events import Event, EventKind
+
+# --- bucketing --------------------------------------------------------
+
+
+def test_bucket_of_boundaries():
+    assert bucket_of(-3) == 0
+    assert bucket_of(0) == 0
+    assert bucket_of(1) == 1   # [1, 2)
+    assert bucket_of(2) == 2   # [2, 4)
+    assert bucket_of(3) == 2
+    assert bucket_of(4) == 3   # [4, 8)
+    assert bucket_of(1 << 50) == NUM_BUCKETS - 1
+
+
+def test_bucket_ranges_are_disjoint_and_ordered():
+    for value in range(1, 5000):
+        i = bucket_of(value)
+        assert (1 << (i - 1)) <= value, value
+        if i < NUM_BUCKETS - 1:
+            assert value < (1 << i), value
+
+
+# --- recording and percentiles ----------------------------------------
+
+
+def test_empty_histogram():
+    hist = Log2Histogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.sparkline() == ""
+    assert hist.nonzero_span() == (0, 0)
+
+
+def test_record_tracks_count_total_max():
+    hist = Log2Histogram()
+    for v in (1, 5, 5, 100):
+        hist.record(v)
+    assert hist.count == 4
+    assert hist.total == 111
+    assert hist.max_value == 100
+    assert hist.mean == pytest.approx(111 / 4)
+
+
+def test_percentile_is_monotonic_and_bounded():
+    hist = Log2Histogram()
+    for v in (1, 2, 3, 8, 20, 70, 300, 301, 5000):
+        hist.record(v)
+    last = 0.0
+    for p in (0, 10, 25, 50, 75, 90, 99, 100):
+        val = hist.percentile(p)
+        assert val >= last
+        last = val
+    assert hist.percentile(100) <= hist.max_value
+
+
+def test_percentile_single_value():
+    hist = Log2Histogram()
+    hist.record(64)
+    # All mass in bucket [64, 128), clamped at the recorded max.
+    assert 64 <= hist.percentile(50) <= 64 + 64
+    assert hist.percentile(100) <= hist.max_value * 2
+
+
+def test_percentile_rejects_out_of_range():
+    hist = Log2Histogram()
+    hist.record(1)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_merge_accumulates():
+    a, b = Log2Histogram(), Log2Histogram()
+    for v in (1, 10, 100):
+        a.record(v)
+    for v in (2, 20, 2000):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 6
+    assert a.total == 1 + 10 + 100 + 2 + 20 + 2000
+    assert a.max_value == 2000
+
+
+def test_sparkline_covers_occupied_span():
+    hist = Log2Histogram()
+    for v in (4, 5, 6, 7, 1000):
+        hist.record(v)
+    line = hist.sparkline()
+    first, stop = hist.nonzero_span()
+    assert len(line) == stop - first
+    assert line[0] != " " and line[-1] != " "
+
+
+# --- serialization ----------------------------------------------------
+
+
+def test_as_dict_from_dict_round_trip():
+    hist = Log2Histogram()
+    for v in (0, 1, 7, 7, 63, 4096):
+        hist.record(v)
+    clone = Log2Histogram.from_dict(hist.as_dict())
+    assert clone.counts == hist.counts
+    assert clone.count == hist.count
+    assert clone.total == hist.total
+    assert clone.max_value == hist.max_value
+    for p in (50, 90, 99):
+        assert clone.percentile(p) == hist.percentile(p)
+
+
+def test_as_dict_trims_to_occupied_span():
+    hist = Log2Histogram()
+    hist.record(1000)  # single occupied bucket
+    data = hist.as_dict()
+    assert len(data["buckets"]) == 1
+    assert data["first_bucket"] == bucket_of(1000)
+
+
+def test_from_dict_rejects_bad_span():
+    with pytest.raises(ValueError):
+        Log2Histogram.from_dict({
+            "count": 1, "total": 1, "max": 1,
+            "first_bucket": NUM_BUCKETS - 1, "buckets": [1, 1]})
+
+
+# --- the sink ---------------------------------------------------------
+
+
+def _amo(kind, cycle, core, block, latency, cas_ok=None):
+    info = {"latency": latency}
+    if cas_ok is not None:
+        info["cas_ok"] = cas_ok
+    return Event(kind, cycle, core, block, info=info)
+
+
+def test_sink_splits_amo_latency_by_placement():
+    sink = HistogramSink()
+    sink.on_event(_amo(EventKind.AMO_NEAR, 10, 0, 0x40, 3))
+    sink.on_event(_amo(EventKind.AMO_FAR, 20, 1, 0x40, 55))
+    assert sink.histograms["amo_near"].count == 1
+    assert sink.histograms["amo_far"].count == 1
+    assert sink.histograms["amo_far"].total == 55
+
+
+def test_sink_lock_acquire_spans_failed_cas_attempts():
+    sink = HistogramSink()
+    # Core 0 fails twice starting at cycle 100, then succeeds at 300
+    # with a 20-cycle CAS: acquire latency = 300 + 20 - 100.
+    sink.on_event(_amo(EventKind.AMO_FAR, 100, 0, 0x80, 30, cas_ok=False))
+    sink.on_event(_amo(EventKind.AMO_FAR, 180, 0, 0x80, 30, cas_ok=False))
+    sink.on_event(_amo(EventKind.AMO_FAR, 300, 0, 0x80, 20, cas_ok=True))
+    lock = sink.histograms["lock_acquire"]
+    assert lock.count == 1
+    assert lock.total == 220
+
+
+def test_sink_single_shot_cas_counts_own_latency():
+    sink = HistogramSink()
+    sink.on_event(_amo(EventKind.AMO_NEAR, 50, 2, 0x80, 7, cas_ok=True))
+    assert sink.histograms["lock_acquire"].total == 7
+
+
+def test_sink_acquire_attempts_are_per_core_per_block():
+    sink = HistogramSink()
+    sink.on_event(_amo(EventKind.AMO_FAR, 10, 0, 0x80, 5, cas_ok=False))
+    # A different core succeeding must not consume core 0's attempt.
+    sink.on_event(_amo(EventKind.AMO_FAR, 40, 1, 0x80, 5, cas_ok=True))
+    sink.on_event(_amo(EventKind.AMO_FAR, 90, 0, 0x80, 5, cas_ok=True))
+    lock = sink.histograms["lock_acquire"]
+    assert lock.count == 2
+    assert lock.total == 5 + (90 + 5 - 10)
+
+
+def test_sink_records_noc_queueing_delay():
+    sink = HistogramSink()
+    sink.on_event(Event(EventKind.MESSAGE, 10,
+                        info={"enqueue": 10, "dequeue": 45}))
+    sink.on_event(Event(EventKind.MESSAGE, 11, info={"msg": "DATA"}))
+    assert sink.histograms["noc_queue"].count == 1
+    assert sink.histograms["noc_queue"].total == 35
+
+
+def test_sink_finalize_serializes_nonempty_histograms():
+    class FakeResult:
+        metadata = {}
+
+    sink = HistogramSink()
+    sink.on_event(_amo(EventKind.AMO_NEAR, 1, 0, 0x40, 4))
+    result = FakeResult()
+    result.metadata = {}
+    sink.finalize(result)
+    hists = histograms_from_metadata(result.metadata)
+    assert set(hists) == {"amo_near"}
+    assert hists["amo_near"].count == 1
+
+
+def test_histograms_from_metadata_missing_payload():
+    assert histograms_from_metadata({}) == {}
+    assert histograms_from_metadata({"histograms": 3}) == {}

@@ -1,0 +1,158 @@
+"""TraceSink -> Perfetto conversion tests.
+
+Round-trips a small contended-lock trace through the converter and pins
+the properties a trace viewer depends on: every AMO the sink recorded
+pairs with exactly one duration slice, events land on the right track
+(core / home-node / mesh process), and timestamps come out monotonic.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram
+from repro.obs.perfetto import (PID_CORES, PID_HOME_NODES, PID_MESH,
+                                TraceFormatError, convert_events,
+                                convert_file, load_jsonl)
+from repro.sim.config import TINY_CONFIG
+from repro.sim.engine import run
+from repro.sim.events import EventBus, TraceSink
+from repro.sim.machine import Machine
+from repro.sync.mutex import PthreadMutex
+
+
+def lock_program(mutex, counter_addr, rounds):
+    def body(core):
+        for _ in range(rounds):
+            yield from mutex.acquire(core)
+            val = yield isa.read(counter_addr)
+            yield isa.write(counter_addr, (val or 0) + 1)
+            yield from mutex.release(core)
+    return GeneratorProgram(body)
+
+
+@pytest.fixture(scope="module")
+def lock_trace():
+    """(records, sink) for a contended-lock run traced to memory."""
+    buf = io.StringIO()
+    bus = EventBus()
+    sink = bus.subscribe(TraceSink(buf))
+    machine = Machine(TINY_CONFIG, "dynamo-reuse-pn", bus=bus)
+    mutex = PthreadMutex(0x10000)
+    programs = [lock_program(mutex, 0x10040, rounds=6)
+                for _ in range(TINY_CONFIG.num_cores)]
+    run(machine, programs, max_cycles=50_000_000)
+    records = load_jsonl(io.StringIO(buf.getvalue()))
+    return records, sink
+
+
+def _trace_events(document):
+    return [ev for ev in document["traceEvents"] if ev["ph"] != "M"]
+
+
+def test_round_trip_pairs_every_amo(lock_trace):
+    records, sink = lock_trace
+    assert len(records) == sink.events_written
+    document = convert_events(records)
+    amo_slices = [ev for ev in _trace_events(document)
+                  if ev["ph"] == "X" and ev["cat"] == "amo"]
+    assert len(amo_slices) == sink.near_events + sink.far_events
+    near = sum(1 for ev in amo_slices if ev["name"].startswith("amo-near"))
+    far = sum(1 for ev in amo_slices if ev["name"].startswith("amo-far"))
+    assert (near, far) == (sink.near_events, sink.far_events)
+    # Durations are real latencies, never zero-width slices.
+    assert all(ev["dur"] >= 1 for ev in amo_slices)
+
+
+def test_track_assignment(lock_trace):
+    records, _sink = lock_trace
+    document = convert_events(records)
+    events = _trace_events(document)
+    for ev in events:
+        assert ev["pid"] in (PID_CORES, PID_HOME_NODES, PID_MESH)
+        if ev["cat"] in ("amo", "core"):
+            assert ev["pid"] == PID_CORES
+            assert 0 <= ev["tid"] < TINY_CONFIG.num_cores
+        elif ev["cat"] == "memory":
+            assert ev["pid"] == PID_HOME_NODES
+        elif ev["cat"] == "noc":
+            assert ev["pid"] == PID_MESH
+    # All three processes show up for a contended-lock run.
+    assert {ev["pid"] for ev in events} == {PID_CORES, PID_HOME_NODES,
+                                            PID_MESH}
+
+
+def test_metadata_names_every_track(lock_trace):
+    records, _sink = lock_trace
+    document = convert_events(records)
+    meta = [ev for ev in document["traceEvents"] if ev["ph"] == "M"]
+    events = _trace_events(document)
+    named_processes = {ev["pid"] for ev in meta
+                       if ev["name"] == "process_name"}
+    named_threads = {(ev["pid"], ev["tid"]) for ev in meta
+                     if ev["name"] == "thread_name"}
+    assert named_processes == {ev["pid"] for ev in events}
+    assert {(ev["pid"], ev["tid"]) for ev in events} <= named_threads
+
+
+def test_timestamps_are_monotonic(lock_trace):
+    records, _sink = lock_trace
+    events = _trace_events(convert_events(records))
+    timestamps = [ev["ts"] for ev in events]
+    assert timestamps == sorted(timestamps)
+    assert all(ts >= 0 for ts in timestamps)
+
+
+def test_queued_messages_span_their_delay():
+    document = convert_events([
+        {"kind": "message", "cycle": 10, "core": -1, "block": -1,
+         "msg": "READ_REQ", "enqueue": 10, "dequeue": 42},
+        {"kind": "message", "cycle": 11, "core": -1, "block": -1,
+         "msg": "DATA"},
+    ])
+    events = _trace_events(document)
+    queued = [ev for ev in events if ev["ph"] == "X"]
+    instant = [ev for ev in events if ev["ph"] == "i"]
+    assert len(queued) == 1 and len(instant) == 1
+    assert queued[0]["ts"] == 10 and queued[0]["dur"] == 32
+    assert instant[0]["name"] == "DATA"
+
+
+def test_unknown_kinds_stay_visible():
+    document = convert_events([
+        {"kind": "future-event", "cycle": 5, "core": 2, "block": 64}])
+    events = _trace_events(document)
+    assert len(events) == 1
+    assert events[0]["name"] == "future-event"
+
+
+def test_convert_rejects_non_events():
+    with pytest.raises(TraceFormatError, match="record 0"):
+        convert_events([{"cycle": 3}])
+    with pytest.raises(TraceFormatError):
+        convert_events(["not a dict"])
+
+
+def test_load_jsonl_reports_bad_lines():
+    with pytest.raises(TraceFormatError, match="line 2"):
+        load_jsonl(io.StringIO('{"kind": "snoop", "cycle": 1}\n{oops\n'))
+    with pytest.raises(TraceFormatError, match="line 1"):
+        load_jsonl(io.StringIO('[1, 2, 3]\n'))
+    assert load_jsonl(io.StringIO("\n\n")) == []
+
+
+def test_convert_file_round_trip(tmp_path, lock_trace):
+    records, _sink = lock_trace
+    src = tmp_path / "trace.jsonl"
+    dst = tmp_path / "trace_chrome.json"
+    with open(src, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    written = convert_file(str(src), str(dst))
+    assert written == len(_trace_events(convert_events(records)))
+    with open(dst) as fh:
+        document = json.load(fh)
+    assert "traceEvents" in document
+    assert document["displayTimeUnit"] == "ms"

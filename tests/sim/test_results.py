@@ -1,0 +1,50 @@
+"""SimulationResult tests: derived metrics, speedup guards, summary."""
+
+import pytest
+
+from repro.noc.message import TrafficMeter
+from repro.sim.results import MachineStats, SimulationResult
+
+
+def make_result(cycles=100, near_decisions=0, far_decisions=0):
+    return SimulationResult(
+        policy="all-near", cycles=cycles, per_core_finish=[cycles],
+        instructions=1000, amos_committed=50, stats=MachineStats(),
+        traffic=TrafficMeter(), near_decisions=near_decisions,
+        far_decisions=far_decisions)
+
+
+def test_speedup_over():
+    fast, slow = make_result(cycles=100), make_result(cycles=200)
+    assert fast.speedup_over(slow) == 2.0
+    assert slow.speedup_over(fast) == 0.5
+
+
+def test_speedup_over_rejects_zero_cycle_run():
+    zero, ok = make_result(cycles=0), make_result(cycles=100)
+    with pytest.raises(ValueError, match="zero cycles"):
+        zero.speedup_over(ok)
+
+
+def test_speedup_over_rejects_zero_cycle_baseline():
+    ok, zero = make_result(cycles=100), make_result(cycles=0)
+    with pytest.raises(ValueError, match="baseline"):
+        ok.speedup_over(zero)
+
+
+def test_summary_includes_decision_counters():
+    result = make_result(near_decisions=7, far_decisions=13)
+    summary = result.summary()
+    assert "decisions=(near=7 far=13)" in summary
+    assert "policy=all-near" in summary
+    assert "cycles=100" in summary
+
+
+def test_apki_guard_against_zero_instructions():
+    result = make_result()
+    result.instructions = 0
+    assert result.apki == 0.0
+
+
+def test_throughput_guard_against_zero_cycles():
+    assert make_result(cycles=0).throughput_per_kilocycle(10) == 0.0

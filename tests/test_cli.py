@@ -52,3 +52,77 @@ def test_unknown_workload_rejected():
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "99"])
+
+
+# --- observability commands -------------------------------------------
+
+
+def test_profile_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["profile", "--workload", "histogram",
+                 "--policy", "dynamo-reuse-pn",
+                 "--threads", "4", "--scale", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "latency histograms" in out
+    assert "interval time-series" in out
+    assert "policy decision breakdown" in out
+
+
+def test_profile_accepts_code_or_name():
+    from repro.cli import _workload_code
+    assert _workload_code("HIST") == "HIST"
+    assert _workload_code("hist") == "HIST"
+    assert _workload_code("histogram") == "HIST"
+    with pytest.raises(Exception):
+        _workload_code("not-a-workload")
+
+
+def test_profile_requires_workload(capsys):
+    assert main(["profile"]) == 2
+    assert "--workload is required" in capsys.readouterr().err
+
+
+def test_profile_save_and_load(capsys, tmp_path):
+    saved = tmp_path / "profile.json"
+    assert main(["profile", "--workload", "COUNTER",
+                 "--threads", "4", "--scale", "0.5",
+                 "--save", str(saved)]) == 0
+    first = capsys.readouterr().out
+    assert saved.exists()
+    assert main(["profile", "--load", str(saved)]) == 0
+    second = capsys.readouterr().out
+    # The rendered report replays identically from the saved payload.
+    assert second.strip() in first
+
+
+def test_perfetto_command(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    out = tmp_path / "chrome.json"
+    assert main(["run", "COUNTER", "--threads", "4", "--scale", "0.5",
+                 "--no-cache", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["perfetto", str(trace), str(out)]) == 0
+    assert "trace events" in capsys.readouterr().out
+    with open(out) as fh:
+        document = json.load(fh)
+    assert document["traceEvents"]
+
+
+def test_perfetto_missing_input(capsys, tmp_path):
+    assert main(["perfetto", str(tmp_path / "nope.jsonl"),
+                 str(tmp_path / "out.json")]) == 1
+    assert "perfetto:" in capsys.readouterr().err
+
+
+def test_bench_command(capsys, tmp_path):
+    history = tmp_path / "bench.json"
+    assert main(["bench", "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "bench:" in out and "wall" in out
+    assert history.exists()
+    assert main(["bench", "--history", str(history), "--check",
+                 "--no-append"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
