@@ -1,0 +1,59 @@
+"""Static analysis of workloads and the coherence model (``repro lint``).
+
+The timing simulator answers "how fast"; this package answers "is it
+even right" — without running the timing model at all.  A symbolic dry
+run (:mod:`repro.analysis.symexec`) interprets each workload's
+generators against plain functional memory, and a family of checkers
+inspects the resulting trace:
+
+* :mod:`repro.analysis.races` — Eraser-style lockset race detection,
+  barrier-epoch aware, with an AMO-aliasing rule.
+* :mod:`repro.analysis.sharing` — false sharing: distinct variables
+  from different cores packed into one 64-byte block.
+* :mod:`repro.analysis.locks` — lock-order deadlock cycles, lock
+  misuse, barrier divergence, stuck-core stalls.
+* :mod:`repro.analysis.coherence_check` — exhaustiveness of the CHI
+  transition handlers over every (state x request) arc.
+
+:mod:`repro.analysis.lint` orchestrates everything and is what the
+``repro lint`` CLI calls; :mod:`repro.analysis.findings` defines the
+common :class:`Finding` currency and the baseline mechanism.
+"""
+
+from repro.analysis.coherence_check import check_coherence
+from repro.analysis.findings import (Finding, Severity, apply_baseline,
+                                     error_count, load_baseline,
+                                     save_baseline, sort_findings)
+from repro.analysis.lint import (analyze_workload, lint_all, lint_code,
+                                 render_json, render_text,
+                                 scan_suppressions)
+from repro.analysis.locks import (check_barriers, check_lock_misuse,
+                                  check_lock_order, check_stalls)
+from repro.analysis.races import check_races
+from repro.analysis.sharing import check_block_sharing
+from repro.analysis.symexec import DryRunTrace, collect
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "DryRunTrace",
+    "collect",
+    "check_races",
+    "check_block_sharing",
+    "check_lock_order",
+    "check_lock_misuse",
+    "check_barriers",
+    "check_stalls",
+    "check_coherence",
+    "analyze_workload",
+    "lint_code",
+    "lint_all",
+    "scan_suppressions",
+    "render_text",
+    "render_json",
+    "sort_findings",
+    "error_count",
+    "save_baseline",
+    "load_baseline",
+    "apply_baseline",
+]

@@ -1,0 +1,146 @@
+"""Findings: the common currency of every static checker.
+
+A :class:`Finding` is one defect (or notable fact) a checker observed in a
+workload or in the coherence model, with enough provenance — workload
+code, cores, addresses, per-core operation indices — to locate the
+offending generator code.  Findings serialize to JSON (``repro lint
+--format json``) and carry a stable :meth:`Finding.key` used by the
+baseline mechanism to tell pre-existing findings from regressions.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; only unsuppressed ERRORs fail the lint."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by a checker.
+
+    Attributes:
+        checker: checker identity (``race``, ``false-sharing``,
+            ``deadlock``, ``lock-misuse``, ``barrier-divergence``,
+            ``stall``, ``coherence``, ``dry-run``); the inline
+            suppression token ``# lint: allow-<checker>`` matches it.
+        severity: ERROR findings fail ``repro lint`` unless suppressed
+            or present in the baseline.
+        message: human-readable description.
+        workload: Table III code, or None for model-level findings.
+        tag: short, run-stable slug identifying the finding within its
+            checker (an address, a lock cycle, a transition arc); the
+            baseline key is built from it.
+        cores: involved core ids, sorted.
+        provenance: ``core/op`` citations pointing into the dry-run trace.
+        suppressed: True when an inline ``# lint: allow-...`` matched.
+    """
+
+    checker: str
+    severity: Severity
+    message: str
+    workload: Optional[str] = None
+    tag: str = ""
+    cores: Sequence[int] = field(default_factory=tuple)
+    provenance: Sequence[str] = field(default_factory=tuple)
+    suppressed: bool = False
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for baseline comparison."""
+        return f"{self.checker}|{self.workload or '-'}|{self.tag}"
+
+    def with_suppressed(self) -> "Finding":
+        return Finding(self.checker, self.severity, self.message,
+                       self.workload, self.tag, tuple(self.cores),
+                       tuple(self.provenance), suppressed=True)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checker": self.checker,
+            "severity": self.severity.value,
+            "message": self.message,
+            "workload": self.workload,
+            "tag": self.tag,
+            "cores": list(self.cores),
+            "provenance": list(self.provenance),
+            "suppressed": self.suppressed,
+            "key": self.key,
+        }
+
+    def render(self) -> str:
+        sup = " [suppressed]" if self.suppressed else ""
+        wl = f"{self.workload}: " if self.workload else ""
+        who = (f" (cores {', '.join(map(str, self.cores))})"
+               if self.cores else "")
+        return (f"{self.severity.value:7} {self.checker:18} "
+                f"{wl}{self.message}{who}{sup}")
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: severity, checker, workload, tag."""
+    return sorted(findings, key=lambda f: (f.severity.rank, f.checker,
+                                           f.workload or "", f.tag))
+
+
+def error_count(findings: Iterable[Finding]) -> int:
+    """Unsuppressed ERROR findings — the lint pass/fail signal."""
+    return sum(1 for f in findings
+               if f.severity is Severity.ERROR and not f.suppressed)
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+
+def save_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Snapshot the keys of all unsuppressed findings to ``path``.
+
+    Returns the number of keys written.  Suppressed findings stay out:
+    they are already acknowledged inline and should not mask a future
+    unsuppressed duplicate.
+    """
+    keys = sorted({f.key for f in findings if not f.suppressed})
+    payload = {"version": 1, "keys": keys}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(keys)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Load a baseline written by :func:`save_baseline`.
+
+    Raises:
+        ValueError: when the file is not a baseline snapshot.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if (not isinstance(payload, dict) or payload.get("version") != 1
+            or not isinstance(payload.get("keys"), list)):
+        raise ValueError(f"{path}: not a lint baseline file")
+    return set(payload["keys"])
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Set[str]) -> List[Finding]:
+    """Return only the findings NOT covered by ``baseline``.
+
+    Baseline filtering is how intentional-contention workloads keep CI
+    green: their known findings are snapshotted once and only *new*
+    findings fail the gate.
+    """
+    return [f for f in findings if f.key not in baseline]

@@ -1,0 +1,134 @@
+"""The lint driver: run every static checker, honor suppressions.
+
+``repro lint`` glues the pieces together: the symbolic dry run
+(:mod:`repro.analysis.symexec`) produces a trace per workload, the
+trace checkers (races, false sharing, lock order/misuse, barriers,
+stalls) turn it into findings, and the model-level coherence checker
+runs once per invocation.  Inline suppressions let a workload declare a
+finding *intentional* — contention microbenchmarks exist to create
+exactly the patterns the linter flags:
+
+    class RadiosityLike(Workload):
+        # lint: allow-race  -- distributing cost counters is the point
+        ...
+
+A token ``# lint: allow-<checker>`` anywhere in the workload class
+source suppresses that checker's findings for the workload.  Suppressed
+findings stay in the report (marked) but never fail the lint; the
+pass/fail signal is :func:`repro.analysis.findings.error_count` over
+what remains, optionally filtered through a baseline snapshot.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.coherence_check import check_coherence
+from repro.analysis.findings import (Finding, error_count, sort_findings)
+from repro.analysis.locks import (check_barriers, check_lock_misuse,
+                                  check_lock_order, check_stalls)
+from repro.analysis.races import check_races
+from repro.analysis.sharing import check_block_sharing
+from repro.analysis.symexec import DryRunTrace, collect
+from repro.workloads.base import Workload, make_workload
+
+TraceChecker = Callable[[DryRunTrace], List[Finding]]
+
+#: Every per-workload checker, in report order.
+TRACE_CHECKERS: Sequence[TraceChecker] = (
+    check_races,
+    check_block_sharing,
+    check_lock_order,
+    check_lock_misuse,
+    check_barriers,
+    check_stalls,
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow-([a-z][a-z-]*)")
+
+
+def scan_suppressions(workload: Workload) -> Set[str]:
+    """Checker names suppressed inline in the workload's class source."""
+    try:
+        source = inspect.getsource(type(workload))
+    except (OSError, TypeError):
+        return set()
+    return set(_SUPPRESS_RE.findall(source))
+
+
+def analyze_workload(workload: Workload, *,
+                     max_steps: Optional[int] = None) -> List[Finding]:
+    """Dry-run one workload instance and run every trace checker."""
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    trace = collect(workload, **kwargs)
+    allowed = scan_suppressions(workload)
+    findings: List[Finding] = []
+    for checker in TRACE_CHECKERS:
+        for finding in checker(trace):
+            if finding.checker in allowed:
+                finding = finding.with_suppressed()
+            findings.append(finding)
+    return findings
+
+
+def lint_code(code: str, num_threads: int = 8, scale: float = 1.0,
+              seed: int = 0, *,
+              max_steps: Optional[int] = None) -> List[Finding]:
+    """Lint one registered workload by its Table III code."""
+    workload = make_workload(code, num_threads, scale=scale, seed=seed)
+    return analyze_workload(workload, max_steps=max_steps)
+
+
+def lint_all(codes: Sequence[str], num_threads: int = 8, scale: float = 1.0,
+             seed: int = 0, *, with_coherence: bool = True,
+             max_steps: Optional[int] = None,
+             progress: Optional[Callable[[str], None]] = None,
+             ) -> List[Finding]:
+    """Lint every workload in ``codes``, plus the coherence model."""
+    findings: List[Finding] = []
+    for code in codes:
+        if progress is not None:
+            progress(code)
+        findings.extend(lint_code(code, num_threads, scale, seed,
+                                  max_steps=max_steps))
+    if with_coherence:
+        if progress is not None:
+            progress("coherence")
+        findings.extend(check_coherence())
+    return findings
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report: findings sorted by severity, then a tally."""
+    ordered = sort_findings(findings)
+    lines = [f.render() for f in ordered]
+    tally: Dict[str, int] = {"error": 0, "warning": 0, "info": 0,
+                             "suppressed": 0}
+    for f in ordered:
+        if f.suppressed:
+            tally["suppressed"] += 1
+        else:
+            tally[f.severity.value] += 1
+    lines.append("")
+    lines.append(f"{tally['error']} error(s), {tally['warning']} "
+                 f"warning(s), {tally['info']} info, "
+                 f"{tally['suppressed']} suppressed")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report (``repro lint --format json``)."""
+    ordered = sort_findings(findings)
+    payload = {
+        "version": 1,
+        "errors": error_count(ordered),
+        "findings": [f.as_dict() for f in ordered],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,196 @@
+"""Lock discipline checks: deadlock cycles, misuse, barrier divergence.
+
+Three families of findings, all computed from the dry-run trace's
+synchronization events:
+
+* **Lock-order graph.**  Every acquire made while other locks are held
+  adds edges ``held -> acquired``.  A cycle in this graph is a potential
+  deadlock: with the AB edge taken by one thread and the BA edge by
+  another (and every workload here runs the same body on every thread),
+  the classic hold-and-wait interleaving exists.  Reported per cycle.
+* **Misuse.**  Releasing a lock the core does not hold (a missed or
+  double release — the Splash-3 porting bug class called out in
+  ISSUE.md) and finishing the program with locks still held.
+* **Barrier divergence.**  All participants of a sense-reversing barrier
+  must arrive the same number of times; a core that skips a barrier
+  leaves the others spinning on a sense flip that never happens.  The
+  dry run observes this directly: arrival counts disagree, and the
+  waiting cores show up as stalls on the barrier's sense word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.symexec import DryRunTrace
+
+
+def check_lock_order(trace: DryRunTrace) -> List[Finding]:
+    """Build the lock-order graph and report every cycle once."""
+    # edge (a, b): acquired b while holding a; value = sample provenance.
+    edges: Dict[Tuple[int, int], str] = {}
+    adj: Dict[int, Set[int]] = {}
+    for ev in trace.lock_events:
+        if ev.action != "acquire" or not ev.held_before:
+            continue
+        for a in ev.held_before:
+            edge = (a, ev.lock)
+            if edge not in edges:
+                edges[edge] = f"core{ev.core}/op{ev.seq}"
+                adj.setdefault(a, set()).add(ev.lock)
+
+    findings: List[Finding] = []
+    for cycle in _find_cycles(adj):
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        order = " -> ".join(f"{a:#x}" for a in cycle + (cycle[0],))
+        provenance = tuple(f"{a:#x}->{b:#x} at {edges[(a, b)]}"
+                           for a, b in pairs)
+        findings.append(Finding(
+            checker="deadlock",
+            severity=Severity.ERROR,
+            workload=trace.workload,
+            tag="cycle:" + ",".join(f"{a:#x}" for a in cycle),
+            provenance=provenance,
+            message=(f"lock-order cycle {order}: threads can deadlock by "
+                     f"acquiring these locks in opposite orders"),
+        ))
+    return findings
+
+
+def _find_cycles(adj: Dict[int, Set[int]]) -> List[Tuple[int, ...]]:
+    """Elementary cycles of the lock graph, canonicalized and deduplicated.
+
+    Lock graphs here are tiny (tens of nodes), so a bounded DFS per node
+    is plenty; each cycle is rotated to start at its smallest lock so the
+    same cycle found from different entry points reports once.
+    """
+    cycles: Set[Tuple[int, ...]] = set()
+    nodes = sorted(adj)
+
+    def dfs(start: int, node: int, path: List[int],
+            on_path: Set[int]) -> None:
+        for nxt in sorted(adj.get(node, ())):
+            if nxt == start and len(path) > 1:
+                i = path.index(min(path))
+                cycles.add(tuple(path[i:] + path[:i]))
+            elif nxt not in on_path and nxt > start and len(path) < 8:
+                # only explore nodes > start: each cycle is discovered
+                # from its smallest node exactly once.
+                on_path.add(nxt)
+                dfs(start, nxt, path + [nxt], on_path)
+                on_path.discard(nxt)
+
+    for start in nodes:
+        dfs(start, start, [start], {start})
+    return sorted(cycles)
+
+
+def check_lock_misuse(trace: DryRunTrace) -> List[Finding]:
+    """Releases of unheld locks and locks still held at program exit."""
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, int]] = set()
+    for ev in trace.lock_events:
+        if ev.action == "bad-release":
+            key = ("bad-release", ev.core, ev.lock)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                checker="lock-misuse",
+                severity=Severity.ERROR,
+                workload=trace.workload,
+                tag=f"bad-release:{ev.lock:#x}",
+                cores=(ev.core,),
+                provenance=(f"core{ev.core}/op{ev.seq}",),
+                message=(f"release of lock {ev.lock:#x} not held by "
+                         f"core {ev.core} (missed acquire or double "
+                         f"release)"),
+            ))
+        elif ev.action == "held-at-exit":
+            key = ("held-at-exit", ev.core, ev.lock)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                checker="lock-misuse",
+                severity=Severity.ERROR,
+                workload=trace.workload,
+                tag=f"held-at-exit:{ev.lock:#x}",
+                cores=(ev.core,),
+                message=(f"core {ev.core} finished with lock {ev.lock:#x} "
+                         f"still held (missed release)"),
+            ))
+    return findings
+
+
+def check_barriers(trace: DryRunTrace) -> List[Finding]:
+    """Arrival-count divergence across the participants of each barrier."""
+    findings: List[Finding] = []
+    by_barrier: Dict[int, Dict[int, int]] = {}
+    for arr in trace.barrier_arrivals:
+        counts = by_barrier.setdefault(arr.barrier, {})
+        counts[arr.core] = counts.get(arr.core, 0) + 1
+
+    for baddr in sorted(by_barrier):
+        counts = by_barrier[baddr]
+        info = trace.barriers[baddr]
+        expected_cores = min(info.nthreads, trace.num_threads)
+        most = max(counts.values())
+        laggards = sorted(c for c in range(expected_cores)
+                          if counts.get(c, 0) < most)
+        if not laggards:
+            continue
+        detail = ", ".join(f"core {c}: {counts.get(c, 0)}/{most}"
+                           for c in laggards)
+        findings.append(Finding(
+            checker="barrier-divergence",
+            severity=Severity.ERROR,
+            workload=trace.workload,
+            tag=f"{baddr:#x}",
+            cores=tuple(laggards),
+            message=(f"barrier {baddr:#x}: cores reached different "
+                     f"arrival counts ({detail}); the other participants "
+                     f"spin forever on the sense word"),
+        ))
+    return findings
+
+
+def check_stalls(trace: DryRunTrace) -> List[Finding]:
+    """Cores that spun forever in the dry run, by what they waited on."""
+    findings: List[Finding] = []
+    for stall in trace.stalls:
+        if stall.kind == "lock":
+            msg = (f"core {stall.core} stalled forever waiting for lock "
+                   f"{stall.addr:#x} (held by a finished or stuck core)")
+            sev = Severity.ERROR
+        elif stall.kind == "barrier":
+            msg = (f"core {stall.core} stalled forever at barrier word "
+                   f"{stall.addr:#x} (a participant never arrived)")
+            sev = Severity.ERROR
+        elif stall.addr is not None:
+            msg = (f"core {stall.core} stalled spinning on data address "
+                   f"{stall.addr:#x}")
+            sev = Severity.ERROR
+        else:
+            msg = f"core {stall.core} made no memory progress"
+            sev = Severity.WARNING
+        findings.append(Finding(
+            checker="stall",
+            severity=sev,
+            workload=trace.workload,
+            tag=f"core{stall.core}:"
+                + (f"{stall.addr:#x}" if stall.addr is not None else "-"),
+            cores=(stall.core,),
+            message=msg,
+        ))
+    if trace.truncated:
+        findings.append(Finding(
+            checker="dry-run",
+            severity=Severity.WARNING,
+            workload=trace.workload,
+            tag="truncated",
+            message=(f"dry run truncated at {trace.total_ops} operations; "
+                     f"checks cover only the executed prefix"),
+        ))
+    return findings

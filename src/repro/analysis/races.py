@@ -1,0 +1,147 @@
+"""Eraser-style lockset race detection over dry-run traces.
+
+The classic Eraser discipline: every shared variable should be protected
+by a *consistent* set of locks — the intersection of the locksets held at
+each access.  When that intersection goes empty for a variable that is
+written, nothing orders the accesses and the workload is racy.
+
+Two model-specific refinements:
+
+* **Barrier epochs.**  These workloads synchronize phases with barriers
+  (zero your slice, barrier, update everyone's slices).  Accesses from
+  different cores in different barrier epochs are ordered by the barrier,
+  so the lockset discipline applies only *within* an epoch.  Without this
+  the zero-then-accumulate idiom of HIST/RSOR/SPMV would be pure noise.
+* **Atomics are self-synchronizing.**  AMOs (``ldadd``, ``cas``, ...)
+  are the paper's subject matter, not a bug: an address updated only by
+  AMOs is fine, and the pervasive read-before-AMO idiom (plain read of a
+  value that others AMO) is fine too.  What is *not* fine is a plain
+  WRITE to an address that other cores access in the same epoch — either
+  plainly (a classic data race) or atomically (a plain store silently
+  clobbering an AMO target, the exact failure mode that corrupts
+  per-block placement measurements).
+
+Eraser's initialization exemption is kept: accesses before a second core
+first touches the variable (within an epoch) do not shrink the lockset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.symexec import Access, DryRunTrace
+
+
+def _fmt_locks(lockset: FrozenSet[int]) -> str:
+    if not lockset:
+        return "no locks"
+    return "locks {" + ", ".join(f"{a:#x}" for a in sorted(lockset)) + "}"
+
+
+def check_races(trace: DryRunTrace) -> List[Finding]:
+    """Run the lockset discipline over every data address in the trace."""
+    by_addr: Dict[int, List[Access]] = {}
+    for acc in trace.accesses:
+        by_addr.setdefault(acc.addr, []).append(acc)
+
+    findings: List[Finding] = []
+    for addr in sorted(by_addr):
+        accs = by_addr[addr]
+        if len({a.core for a in accs}) < 2:
+            continue  # thread-private
+        by_epoch: Dict[int, List[Access]] = {}
+        for acc in accs:
+            by_epoch.setdefault(acc.epoch, []).append(acc)
+        race = _first_plain_race(by_epoch)
+        if race is not None:
+            a, b, lockset_note = race
+            findings.append(Finding(
+                checker="race",
+                severity=Severity.ERROR,
+                workload=trace.workload,
+                tag=f"{addr:#x}",
+                cores=tuple(sorted({a.core, b.core})),
+                provenance=(a.cite(), b.cite()),
+                message=(f"unsynchronized plain access to {addr:#x}: "
+                         f"{a.op.name} by {a.cite()} vs {b.op.name} by "
+                         f"{b.cite()} in the same barrier epoch "
+                         f"({lockset_note})"),
+            ))
+            continue
+        alias = _first_amo_alias(by_epoch)
+        if alias is not None:
+            w, amo = alias
+            findings.append(Finding(
+                checker="race",
+                severity=Severity.ERROR,
+                workload=trace.workload,
+                tag=f"{addr:#x}",
+                cores=tuple(sorted({w.core, amo.core})),
+                provenance=(w.cite(), amo.cite()),
+                message=(f"plain WRITE by {w.cite()} aliases AMO target "
+                         f"{addr:#x} ({amo.amo.name if amo.amo else 'AMO'} "
+                         f"by {amo.cite()}) in the same barrier epoch "
+                         f"with no common lock"),
+            ))
+    return findings
+
+
+def _shared_suffix(eaccs: List[Access]) -> List[Access]:
+    """Accesses from the point a second core first touches the address.
+
+    Eraser's initialization exemption: a single core may set a variable
+    up lock-free before publishing it; only the shared phase must obey
+    the lockset discipline.  ``eaccs`` is in trace order already.
+    """
+    first_core = eaccs[0].core
+    for i, acc in enumerate(eaccs):
+        if acc.core != first_core:
+            return eaccs[i:]
+    return []
+
+
+def _first_plain_race(
+        by_epoch: Dict[int, List[Access]],
+) -> "Tuple[Access, Access, str] | None":
+    """Plain write vs plain access from another core, lockset empty."""
+    for epoch in sorted(by_epoch):
+        shared = _shared_suffix(by_epoch[epoch])
+        plain = [a for a in shared if not a.is_amo]
+        writers = [a for a in plain if a.is_plain_write]
+        if not writers:
+            continue
+        cross = [(w, a) for w in writers for a in plain if a.core != w.core]
+        if not cross:
+            continue
+        lockset = frozenset.intersection(*(a.lockset for a in plain))
+        if lockset:
+            continue
+        witness_w, witness_o = cross[0]
+        held = frozenset.union(*(a.lockset for a in plain))
+        note = ("inconsistent locksets, intersection empty; union was "
+                + _fmt_locks(held)) if held else "no locks held"
+        return witness_w, witness_o, note
+    return None
+
+
+def _first_amo_alias(
+        by_epoch: Dict[int, List[Access]],
+) -> "Tuple[Access, Access] | None":
+    """Plain write racing an AMO on the same address, no common lock."""
+    for epoch in sorted(by_epoch):
+        shared = _shared_suffix(by_epoch[epoch])
+        writes = [a for a in shared if a.is_plain_write]
+        amos = [a for a in shared if a.is_amo]
+        if not writes or not amos:
+            continue
+        pairs = [(w, m) for w in writes for m in amos if w.core != m.core]
+        if not pairs:
+            continue
+        involved = writes + [m for m in amos
+                             if any(m.core != w.core for w in writes)]
+        lockset = frozenset.intersection(*(a.lockset for a in involved))
+        if lockset:
+            continue
+        return pairs[0]
+    return None

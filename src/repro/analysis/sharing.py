@@ -1,0 +1,132 @@
+"""Block-sharing analysis: false sharing and AMO/plain co-residency.
+
+DynAMO's predictions are *per cache block* (the AMT is block-indexed), so
+two distinct variables packed into one 64-byte block are indistinguishable
+to every placement policy — and, per Dice et al. and Schweizer et al.
+(PAPERS.md), co-residency of unrelated concurrent data on one line is
+exactly the silent result-corrupting pattern: each core's accesses to its
+own variable invalidate the other core's copy, and an AMO target sharing
+a line with plain-written data drags the plain data through whatever
+placement the AMO gets.
+
+The checker groups the dry-run trace's data accesses by block and flags
+blocks where **distinct addresses** are accessed by **different cores**
+with at least one of them written, unless:
+
+* all involved accesses share a common lock (then the block is one
+  jointly-protected record and its layout is a deliberate choice, like
+  the Fig. 4 pthread mutex), or
+* the overlap never happens within one barrier epoch (phases separated
+  by a barrier never contend on the line), or
+* the addresses belong to one synchronization object (the sync layer's
+  own layout is modeled deliberately and checked by its own tests).
+
+Severity: ERROR when an AMO is involved (it poisons the block's AMT
+entry and pays Schweizer's mixed-access penalty), WARNING for plain
+write/write false sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.symexec import Access, DryRunTrace
+
+
+def check_block_sharing(trace: DryRunTrace) -> List[Finding]:
+    by_block: Dict[int, List[Access]] = {}
+    for acc in trace.accesses:
+        by_block.setdefault(acc.block, []).append(acc)
+
+    findings: List[Finding] = []
+    for block in sorted(by_block):
+        accs = by_block[block]
+        addrs = sorted({a.addr for a in accs})
+        if len(addrs) < 2:
+            continue
+        finding = _check_block(trace, block, accs)
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+def _check_block(trace: DryRunTrace, block: int,
+                 accs: List[Access]) -> "Finding | None":
+    # Group per (epoch, addr) so only same-epoch overlap counts.
+    by_epoch: Dict[int, Dict[int, List[Access]]] = {}
+    for a in accs:
+        by_epoch.setdefault(a.epoch, {}).setdefault(a.addr, []).append(a)
+
+    worst: "Tuple[int, int, List[Access], List[Access]] | None" = None
+    for epoch in sorted(by_epoch):
+        vars_here = by_epoch[epoch]
+        if len(vars_here) < 2:
+            continue
+        addr_list = sorted(vars_here)
+        for i, a1 in enumerate(addr_list):
+            for a2 in addr_list[i + 1:]:
+                g1, g2 = vars_here[a1], vars_here[a2]
+                if not _conflicts(g1, g2):
+                    continue
+                worst = (a1, a2, g1, g2)
+                break
+            if worst:
+                break
+        if worst:
+            break
+    if worst is None:
+        return None
+
+    a1, a2, g1, g2 = worst
+    involved = g1 + g2
+    cores = tuple(sorted({a.core for a in involved}))
+    has_amo = any(a.is_amo for a in involved)
+    kinds = ("AMO" if any(a.is_amo for a in g1) else
+             "written" if any(a.is_write for a in g1) else "read",
+             "AMO" if any(a.is_amo for a in g2) else
+             "written" if any(a.is_write for a in g2) else "read")
+    samples = (next(a for a in g1 if a.is_write or a.is_amo or True).cite(),
+               next(a for a in g2 if a.is_write or a.is_amo or True).cite())
+    if has_amo:
+        msg = (f"block {block:#x}: AMO false sharing — {a1:#x} ({kinds[0]}) "
+               f"and {a2:#x} ({kinds[1]}) are distinct variables from "
+               f"different cores in one cache block; the block's AMT "
+               f"entry and invalidation pattern mix both")
+        sev = Severity.ERROR
+    else:
+        msg = (f"block {block:#x}: false sharing — {a1:#x} ({kinds[0]}) "
+               f"and {a2:#x} ({kinds[1]}) written by different cores in "
+               f"one cache block")
+        sev = Severity.WARNING
+    return Finding(
+        checker="false-sharing",
+        severity=sev,
+        workload=trace.workload,
+        tag=f"{block:#x}",
+        cores=cores,
+        provenance=samples,
+        message=msg,
+    )
+
+
+def _conflicts(g1: List[Access], g2: List[Access]) -> bool:
+    """True when two same-block variables genuinely interfere."""
+    cores1: Set[int] = {a.core for a in g1}
+    cores2: Set[int] = {a.core for a in g2}
+    if len(cores1 | cores2) < 2:
+        return False  # one core's private packing
+    if cores1 == cores2 and len(cores1) == 1:
+        return False
+    if not any(a.is_write for a in g1 + g2):
+        return False  # read-only co-residency is harmless
+    # Writes by strictly one core to both vars, read by nobody else?
+    writers = {a.core for a in g1 + g2 if a.is_write}
+    others = (cores1 | cores2) - writers
+    if len(writers) == 1 and not others:
+        return False
+    # A common lock over every involved access makes it one record.
+    common = frozenset.intersection(*(a.lockset for a in g1 + g2))
+    if common:
+        return False
+    return True

@@ -21,11 +21,17 @@ Commands:
 * ``repro bench [--check]`` — run the pinned micro-grid and append a
   wall-time record to ``BENCH_history.json``; ``--check`` exits
   non-zero on >15% wall-time regression.
+* ``repro lint [WORKLOAD ...] [--all] [--format json] [--baseline F]
+  [--write-baseline F]`` — static analysis: symbolic dry-run of the
+  workload generators (races, deadlocks, false sharing, barrier
+  divergence) plus coherence transition exhaustiveness; exits non-zero
+  on unsuppressed errors not covered by the baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -146,6 +152,27 @@ def _build_parser() -> argparse.ArgumentParser:
                             "vs recent history")
     bench.add_argument("--no-append", action="store_true",
                        help="measure and check without recording")
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: race/deadlock/false-sharing "
+                     "linter + coherence transition checker")
+    lint.add_argument("workloads", nargs="*", type=_workload_code,
+                      help="Table III codes or names to lint")
+    lint.add_argument("--all", action="store_true", dest="lint_all",
+                      help="lint every registered workload and the "
+                           "coherence model")
+    lint.add_argument("--threads", type=int, default=8,
+                      help="cores to dry-run each workload with")
+    lint.add_argument("--scale", type=float, default=1.0)
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--format", dest="fmt", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="fail only on errors absent from this snapshot")
+    lint.add_argument("--write-baseline", metavar="FILE", default=None,
+                      help="snapshot current findings and exit")
+    lint.add_argument("--no-coherence", action="store_true",
+                      help="skip the coherence transition checker")
     return parser
 
 
@@ -259,6 +286,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (apply_baseline, error_count, lint_all,
+                                load_baseline, render_json, render_text,
+                                save_baseline)
+
+    if args.lint_all:
+        codes = list(WORKLOADS)
+    elif args.workloads:
+        codes = args.workloads
+    else:
+        print("lint: name workloads to check or pass --all",
+              file=sys.stderr)
+        return 2
+    with_coherence = args.lint_all and not args.no_coherence
+
+    findings = lint_all(codes, num_threads=args.threads, scale=args.scale,
+                        seed=args.seed, with_coherence=with_coherence)
+
+    if args.write_baseline is not None:
+        written = save_baseline(findings, args.write_baseline)
+        print(f"lint: baseline with {written} finding(s) -> "
+              f"{args.write_baseline}")
+        return 0
+
+    gated = findings
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        gated = apply_baseline(findings, baseline)
+
+    if args.fmt == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+
+    errors = error_count(gated)
+    if errors:
+        what = "new error(s) vs baseline" if args.baseline else "error(s)"
+        print(f"lint: {errors} {what}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     cost = amt_cost(args.entries, args.ways, args.counter_bits)
     print(cost.describe())
@@ -285,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perfetto(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Final, Optional
 
 #: Cache block size in bytes (fixed by the simulated system, Table II).
-BLOCK_SIZE = 64
+BLOCK_SIZE: Final[int] = 64
 #: log2(BLOCK_SIZE), used to convert byte addresses to block numbers.
-BLOCK_SHIFT = 6
+BLOCK_SHIFT: Final[int] = 6
 
 
 def block_of(addr: int) -> int:

@@ -18,6 +18,37 @@ from repro.noc.message import TrafficMeter
 class MachineStats:
     """Event counters updated by the machine while executing operations."""
 
+    # Class-level annotations mirror __slots__ so type checkers see the
+    # counters the __init__ loop creates dynamically.
+    reads: int
+    writes: int
+    amo_loads: int
+    amo_stores: int
+    near_amos: int
+    far_amos: int
+    far_amo_loads: int
+    far_amo_stores: int
+    near_amo_unique_hits: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    llc_hits: int
+    llc_misses: int
+    dram_reads: int
+    dram_writes: int
+    snoops: int
+    invalidations: int
+    downgrades: int
+    l1_evictions: int
+    l2_evictions: int
+    llc_evictions: int
+    upgrades: int
+    read_shared: int
+    read_unique: int
+    amo_latency_sum: int
+    amo_buffer_hits: int
+    store_buffer_stalls: int
+
     __slots__ = (
         "reads", "writes", "amo_loads", "amo_stores",
         "near_amos", "far_amos", "far_amo_loads", "far_amo_stores",

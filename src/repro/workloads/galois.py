@@ -122,6 +122,11 @@ class Cluster(_GraphWorkload):
     def __init__(self, num_threads, scale=1.0, seed=0, input_name=None):
         super().__init__(num_threads, scale, seed, input_name)
         self.centroids = self.layout.alloc_array(4 * num_threads, 64)
+        # Per-centroid membership records live in their own blocks: they
+        # are written under the centroid lock while the centroid word
+        # itself takes lock-free stadd traffic, and co-locating the two
+        # would falsely share the accumulator's block.
+        self.members = self.layout.alloc_array(4 * num_threads, 64)
         self.locks = [SpinLock(a) for a in
                       self.layout.alloc_array(4 * num_threads, 64)]
 
@@ -148,7 +153,7 @@ class Cluster(_GraphWorkload):
                 if rng.random() < 0.2:
                     lock = self.locks[c]
                     yield from lock.acquire(tid)
-                    yield isa.write(self.centroids[c] + 8, u)
+                    yield isa.write(self.members[c], u)
                     yield from lock.release(tid)
 
         return [GeneratorProgram(body) for _ in range(self.num_threads)]

@@ -1,0 +1,116 @@
+"""`repro lint` CLI behavior: exit codes, JSON output, baselines."""
+
+import json
+
+import pytest
+
+from repro.analysis import (analyze_workload, apply_baseline, error_count,
+                            load_baseline, save_baseline)
+from repro.cli import main
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram
+from repro.workloads.base import WORKLOADS, Workload, WorkloadSpec
+
+
+class BuggyWorkload(Workload):
+    """Two cores hammer one unlocked word: a guaranteed race finding."""
+
+    spec = WorkloadSpec(code="ZBUG", name="zbug", suite="test",
+                        input_name="t", primitives="none",
+                        intensity="L", description="lint CLI test fixture")
+
+    def __init__(self, num_threads=2, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.shared = self.layout.alloc(64)
+
+    def programs(self):
+        def body(tid):
+            for i in range(20):
+                yield isa.write(self.shared, tid)
+                yield isa.read(self.shared)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@pytest.fixture
+def buggy_registered():
+    WORKLOADS["ZBUG"] = BuggyWorkload
+    try:
+        yield "ZBUG"
+    finally:
+        del WORKLOADS["ZBUG"]
+
+
+def test_lint_requires_workloads_or_all(capsys):
+    assert main(["lint"]) == 2
+
+
+def test_lint_clean_workload_exits_zero(capsys):
+    assert main(["lint", "HIST"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_accepts_lowercase_names(capsys):
+    assert main(["lint", "hist"]) == 0
+
+
+def test_lint_buggy_workload_exits_one(buggy_registered, capsys):
+    assert main(["lint", "ZBUG"]) == 1
+    captured = capsys.readouterr()
+    assert "race" in captured.out
+    assert "error" in captured.err
+
+
+def test_lint_json_output_parses(buggy_registered, capsys):
+    assert main(["lint", "ZBUG", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["errors"] > 0
+    assert any(f["checker"] == "race" for f in payload["findings"])
+    for f in payload["findings"]:
+        assert {"checker", "severity", "message"} <= set(f)
+
+
+def test_lint_baseline_roundtrip(buggy_registered, tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    # Snapshot current findings, then the same findings are not regressions.
+    assert main(["lint", "ZBUG", "--write-baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    assert main(["lint", "ZBUG", "--baseline", str(baseline)]) == 0
+
+
+def test_lint_missing_baseline_file_exits_two(buggy_registered, capsys):
+    assert main(["lint", "ZBUG", "--baseline", "/nonexistent/b.json"]) == 2
+
+
+def test_lint_corrupt_baseline_exits_two(buggy_registered, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["lint", "ZBUG", "--baseline", str(bad)]) == 2
+
+
+def test_baseline_masks_only_known_findings(tmp_path):
+    old = analyze_workload(BuggyWorkload())
+    path = str(tmp_path / "b.json")
+    save_baseline(old, path)
+    known = load_baseline(path)
+    assert known  # the race key is in there
+
+    gated = apply_baseline(old, known)
+    assert error_count(gated) == 0
+
+    # A finding from a different workload is NOT covered by the baseline.
+    class OtherBug(BuggyWorkload):
+        spec = WorkloadSpec(code="ZBUG2", name="zbug2", suite="test",
+                            input_name="t", primitives="none",
+                            intensity="L", description="different key")
+
+    fresh = analyze_workload(OtherBug())
+    assert error_count(apply_baseline(fresh, known)) > 0
+
+
+def test_lint_all_registry_is_clean(capsys):
+    """The shipped registry must lint clean — this mirrors the CI gate."""
+    assert main(["lint", "--all", "--no-coherence", "--threads", "4",
+                 "--scale", "0.1"]) == 0

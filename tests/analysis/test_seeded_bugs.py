@@ -1,0 +1,487 @@
+"""Seeded-bug suite: every checker must fire on its target defect.
+
+Each test builds a minimal workload containing exactly one injected bug
+(an unlocked shared write, an AB/BA lock pair, a skipped barrier, two
+cores' counters packed into one block, a deleted coherence handler) and
+asserts the corresponding checker reports it — and that a clean variant
+stays clean.
+"""
+
+from typing import List
+
+from repro.analysis import (Severity, analyze_workload, check_barriers,
+                            check_block_sharing, check_coherence,
+                            check_lock_order, check_lock_misuse,
+                            check_races, check_stalls, collect,
+                            error_count, scan_suppressions)
+from repro.frontend import isa
+from repro.frontend.program import GeneratorProgram, Program
+from repro.sim.config import TINY_CONFIG
+from repro.sim.machine import Machine
+from repro.sync.barrier import SenseBarrier
+from repro.sync.spinlock import SpinLock
+from repro.workloads.base import Workload, WorkloadSpec
+
+
+def _spec(code: str) -> WorkloadSpec:
+    return WorkloadSpec(code=code, name=code.lower(), suite="test",
+                        input_name="t", primitives="varies",
+                        intensity="L", description="seeded-bug test")
+
+
+class _TestWorkload(Workload):
+    """Base for the seeded workloads: two threads unless overridden."""
+
+    def __init__(self, num_threads=2, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+
+
+# ----------------------------------------------------------------------
+# race
+# ----------------------------------------------------------------------
+
+class UnlockedSharedWrite(_TestWorkload):
+    spec = _spec("XRACE")
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.shared = self.layout.alloc(64)
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            for i in range(20):
+                yield isa.write(self.shared, tid)
+                yield isa.read(self.shared)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+class LockedSharedWrite(_TestWorkload):
+    spec = _spec("XLOCKED")
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.lock = SpinLock(self.layout.alloc(64))
+        self.shared = self.layout.alloc(64)
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            for i in range(20):
+                yield from self.lock.acquire(tid)
+                yield isa.write(self.shared, tid)
+                yield isa.read(self.shared)
+                yield from self.lock.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+def test_unlocked_shared_write_is_a_race():
+    trace = collect(UnlockedSharedWrite())
+    findings = check_races(trace)
+    assert any(f.checker == "race" and f.severity is Severity.ERROR
+               for f in findings)
+
+
+def test_consistently_locked_write_is_clean():
+    trace = collect(LockedSharedWrite())
+    assert check_races(trace) == []
+
+
+def test_amo_only_contention_is_not_a_race():
+    class AmoCounter(_TestWorkload):
+        spec = _spec("XAMO")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.counter = self.layout.alloc(64)
+
+        def programs(self):
+            def body(tid):
+                for i in range(20):
+                    yield isa.read(self.counter)
+                    yield isa.stadd(self.counter, 1)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    trace = collect(AmoCounter())
+    assert check_races(trace) == []
+
+
+def test_plain_write_aliasing_amo_target_is_a_race():
+    class WriteOverAmo(_TestWorkload):
+        spec = _spec("XALIAS")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.counter = self.layout.alloc(64)
+
+        def programs(self):
+            def body(tid):
+                for i in range(20):
+                    if tid == 0:
+                        yield isa.write(self.counter, 0)  # clobbers the AMO
+                    else:
+                        yield isa.stadd(self.counter, 1)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    findings = check_races(collect(WriteOverAmo()))
+    assert any("AMO" in f.message and f.severity is Severity.ERROR
+               for f in findings)
+
+
+# ----------------------------------------------------------------------
+# deadlock (AB/BA lock order)
+# ----------------------------------------------------------------------
+
+class AbBaLocks(_TestWorkload):
+    spec = _spec("XDEAD")
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.lock_a = SpinLock(self.layout.alloc(64))
+        self.lock_b = SpinLock(self.layout.alloc(64))
+        self.shared = self.layout.alloc(64)
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            # Stagger so the dry run itself never wedges: core 1 starts
+            # its B->A section after core 0 finished A->B.  The *order
+            # inversion* is still in the trace, which is the point — a
+            # lock-order cycle is a bug even on runs that got lucky.
+            first, second = ((self.lock_a, self.lock_b) if tid == 0
+                            else (self.lock_b, self.lock_a))
+            for _ in range(tid * 30):
+                yield isa.think(1)
+            yield from first.acquire(tid)
+            yield from second.acquire(tid)
+            yield isa.write(self.shared, tid)
+            yield from second.release(tid)
+            yield from first.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+class OrderedLocks(_TestWorkload):
+    spec = _spec("XORDER")
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self.lock_a = SpinLock(self.layout.alloc(64))
+        self.lock_b = SpinLock(self.layout.alloc(64))
+        self.shared = self.layout.alloc(64)
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            for _ in range(tid * 30):
+                yield isa.think(1)
+            yield from self.lock_a.acquire(tid)
+            yield from self.lock_b.acquire(tid)
+            yield isa.write(self.shared, tid)
+            yield from self.lock_b.release(tid)
+            yield from self.lock_a.release(tid)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+def test_abba_lock_pair_reports_cycle():
+    trace = collect(AbBaLocks())
+    findings = check_lock_order(trace)
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.checker == "deadlock" and f.severity is Severity.ERROR
+    assert "cycle" in f.tag
+
+
+def test_consistent_lock_order_is_clean():
+    trace = collect(OrderedLocks())
+    assert check_lock_order(trace) == []
+
+
+def test_cooperative_wedge_reports_lock_stalls():
+    """When both threads actually wedge, the stall checker catches it."""
+
+    class Wedge(_TestWorkload):
+        spec = _spec("XWEDGE")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.lock_a = SpinLock(self.layout.alloc(64))
+            self.lock_b = SpinLock(self.layout.alloc(64))
+
+        def programs(self):
+            def body(tid):
+                first, second = ((self.lock_a, self.lock_b) if tid == 0
+                                 else (self.lock_b, self.lock_a))
+                yield from first.acquire(tid)
+                yield from second.acquire(tid)  # never succeeds
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    trace = collect(Wedge(), stale_limit=200)
+    findings = check_stalls(trace)
+    lock_stalls = [f for f in findings
+                   if f.checker == "stall" and "lock" in f.message]
+    assert len(lock_stalls) == 2
+
+
+# ----------------------------------------------------------------------
+# lock misuse
+# ----------------------------------------------------------------------
+
+def test_release_without_acquire_reported():
+    class BadRelease(_TestWorkload):
+        spec = _spec("XBADREL")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.lock = SpinLock(self.layout.alloc(64))
+
+        def programs(self):
+            def body(tid):
+                if tid == 0:
+                    yield from self.lock.release(tid)  # never acquired
+                yield isa.think(5)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    findings = check_lock_misuse(collect(BadRelease()))
+    assert any(f.tag.startswith("bad-release") for f in findings)
+
+
+def test_lock_held_at_exit_reported():
+    class LeakyLock(_TestWorkload):
+        spec = _spec("XLEAK")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.lock = SpinLock(self.layout.alloc(64))
+
+        def programs(self):
+            def body(tid):
+                if tid == 0:
+                    yield from self.lock.acquire(tid)  # never released
+                yield isa.think(5)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    findings = check_lock_misuse(collect(LeakyLock()))
+    assert any(f.tag.startswith("held-at-exit") for f in findings)
+
+
+# ----------------------------------------------------------------------
+# barrier divergence
+# ----------------------------------------------------------------------
+
+class SkippedBarrier(_TestWorkload):
+    spec = _spec("XBARR")
+
+    def __init__(self, num_threads=3, scale=1.0, seed=0, input_name=None):
+        super().__init__(num_threads, scale, seed, input_name)
+        self.barrier = SenseBarrier(self.layout.alloc(128), num_threads)
+        self.data = self.layout.alloc_array(num_threads, 64)
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            yield isa.write(self.data[tid], 1)
+            if tid != 2:  # core 2 skips the barrier
+                yield from self.barrier.wait(tid)
+            yield isa.read(self.data[tid])
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+def test_skipped_barrier_reports_divergence_and_stalls():
+    trace = collect(SkippedBarrier(), stale_limit=200)
+    divergence = check_barriers(trace)
+    assert len(divergence) == 1
+    assert divergence[0].severity is Severity.ERROR
+    assert divergence[0].cores == (2,)
+    # The two waiting cores spin forever on the sense word.
+    stalls = [f for f in check_stalls(trace) if "barrier" in f.message]
+    assert len(stalls) == 2
+
+
+def test_complete_barrier_phases_are_clean():
+    class GoodBarrier(SkippedBarrier):
+        spec = _spec("XBARROK")
+
+        def programs(self):
+            def body(tid):
+                for _ in range(3):
+                    yield isa.write(self.data[tid], 1)
+                    yield from self.barrier.wait(tid)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    trace = collect(GoodBarrier())
+    assert check_barriers(trace) == []
+    assert check_stalls(trace) == []
+
+
+def test_barrier_orders_phases_for_race_checker():
+    """Zero-then-accumulate across a barrier must not be called a race."""
+
+    class Phased(_TestWorkload):
+        spec = _spec("XPHASE")
+
+        def __init__(self, num_threads=2, scale=1.0, seed=0,
+                     input_name=None):
+            super().__init__(num_threads, scale, seed, input_name)
+            self.barrier = SenseBarrier(self.layout.alloc(128), num_threads)
+            self.slices = self.layout.alloc_array(num_threads, 64)
+
+        def programs(self):
+            def body(tid):
+                # Phase 1: each core zeroes its own slice.
+                yield isa.write(self.slices[tid], 0)
+                yield from self.barrier.wait(tid)
+                # Phase 2: everyone AMO-accumulates into every slice.
+                for addr in self.slices:
+                    yield isa.stadd(addr, 1)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    trace = collect(Phased())
+    assert check_races(trace) == []
+
+
+# ----------------------------------------------------------------------
+# false sharing
+# ----------------------------------------------------------------------
+
+class PackedCounters(_TestWorkload):
+    spec = _spec("XPACK")
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        base = self.layout.alloc(64)
+        # Two cores' counters deliberately packed into ONE block.
+        self.counters = [base, base + 8]
+
+    def programs(self) -> List[Program]:
+        def body(tid):
+            for i in range(20):
+                yield isa.read(self.counters[tid])
+                yield isa.write(self.counters[tid], i)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+def test_packed_per_core_counters_flagged():
+    findings = check_block_sharing(collect(PackedCounters()))
+    assert len(findings) == 1
+    assert findings[0].checker == "false-sharing"
+    assert findings[0].severity is Severity.WARNING  # plain writes only
+
+
+def test_amo_sharing_a_block_with_plain_data_is_an_error():
+    class AmoNextToData(_TestWorkload):
+        spec = _spec("XAMOFS")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            base = self.layout.alloc(64)
+            self.counter = base        # AMO target
+            self.scratch = base + 8    # plain data in the same block
+
+        def programs(self):
+            def body(tid):
+                for i in range(20):
+                    if tid == 0:
+                        yield isa.stadd(self.counter, 1)
+                    else:
+                        yield isa.write(self.scratch, i)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    findings = check_block_sharing(collect(AmoNextToData()))
+    assert len(findings) == 1
+    assert findings[0].severity is Severity.ERROR
+    assert "AMO" in findings[0].message
+
+
+def test_per_core_blocks_are_clean():
+    class Padded(_TestWorkload):
+        spec = _spec("XPAD")
+
+        def __init__(self, *a, **kw):
+            super().__init__(*a, **kw)
+            self.counters = self.layout.alloc_array(2, 64)  # one per block
+
+        def programs(self):
+            def body(tid):
+                for i in range(20):
+                    yield isa.write(self.counters[tid], i)
+
+            return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+    assert check_block_sharing(collect(Padded())) == []
+
+
+# ----------------------------------------------------------------------
+# coherence transition exhaustiveness
+# ----------------------------------------------------------------------
+
+def test_intact_machine_has_no_coherence_errors():
+    findings = check_coherence()
+    assert error_count(findings) == 0
+    # 35 arcs verified, 2 dead by construction.
+    assert any(f.tag == "arcs" and "35/35" in f.message for f in findings)
+
+
+def test_deleted_upgrade_handler_breaks_shared_write_arcs():
+    class NoUpgrade(Machine):
+        def _upgrade(self, core, block, now):
+            raise NotImplementedError("CleanUnique handler deleted")
+
+    findings = check_coherence(
+        machine_factory=lambda cfg, pol: NoUpgrade(cfg, pol))
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    # Writes and near AMOs on shared-state blocks go through CleanUnique.
+    broken = {f.tag for f in errors}
+    assert "LOCAL_WRITExSC" in broken
+    assert "LOCAL_WRITExSD" in broken
+    assert "LOCAL_AMO_NEARxSC" in broken
+    assert "LOCAL_AMO_NEARxSD" in broken
+
+
+def test_skipped_invalidation_breaks_remote_write_arcs():
+    class NoInvalidate(Machine):
+        def _invalidate_holders(self, slice_id, block, entry, exclude,
+                                now, t_dir, ack_to=None):
+            return t_dir  # leaves stale copies everywhere
+
+    findings = check_coherence(
+        machine_factory=lambda cfg, pol: NoInvalidate(cfg, pol))
+    errors = {f.tag for f in findings if f.severity is Severity.ERROR}
+    assert any(tag.startswith("REMOTE_WRITE") for tag in errors)
+
+
+def test_coherence_checker_runs_on_tiny_config_fast():
+    findings = check_coherence(config=TINY_CONFIG)
+    assert error_count(findings) == 0
+
+
+# ----------------------------------------------------------------------
+# suppression
+# ----------------------------------------------------------------------
+
+class IntentionalRace(UnlockedSharedWrite):
+    spec = _spec("XINTENT")
+    # The scribble contention is this workload's entire purpose.
+    # lint: allow-race
+
+
+def test_suppression_token_discovered():
+    assert scan_suppressions(IntentionalRace()) == {"race"}
+    assert scan_suppressions(UnlockedSharedWrite()) == set()
+
+
+def test_suppressed_findings_do_not_count_as_errors():
+    noisy = analyze_workload(UnlockedSharedWrite())
+    quiet = analyze_workload(IntentionalRace())
+    assert error_count(noisy) > 0
+    assert error_count(quiet) == 0
+    # The findings are still reported, just marked.
+    assert any(f.suppressed for f in quiet)

@@ -1,0 +1,119 @@
+"""Edge cases for the sync substrate: misuse, backoff saturation, fast paths."""
+
+import random
+
+from repro.frontend.isa import AmoKind, OpType
+from repro.sync.mutex import PthreadMutex, spin_until_zero
+from repro.sync.spinlock import SpinLock
+
+from tests.sync.test_sync import drain
+
+
+class TestReleaseWithoutAcquire:
+    """The generators are stateless: a release never inspects ownership.
+
+    That is faithful to the modelled software (a plain store / swap cannot
+    check the holder) — catching the misuse is the lint's job, and
+    ``check_lock_misuse`` covers it in tests/analysis.  Here we pin down
+    that the op stream is identical whether or not the lock was held.
+    """
+
+    def test_spinlock_release_is_one_plain_store(self):
+        ops = drain(SpinLock(0x1000).release(tid=0))
+        assert len(ops) == 1
+        assert ops[0].type is OpType.WRITE
+        assert (ops[0].addr, ops[0].value) == (0x1000, 0)
+
+    def test_spinlock_swap_release_is_one_atomic_store(self):
+        ops = drain(SpinLock(0x1000, swap_release=True).release(tid=0))
+        assert len(ops) == 1
+        assert ops[0].type is OpType.AMO_STORE
+        assert ops[0].amo is AmoKind.SWAP and ops[0].value == 0
+
+    def test_mutex_release_touches_all_fields_even_unheld(self):
+        mutex = PthreadMutex(0x1000)
+        held = drain(mutex.release(tid=3))
+        unheld = drain(mutex.release(tid=7))
+        assert [(op.type, op.addr) for op in held] == \
+               [(op.type, op.addr) for op in unheld]
+        assert held[-1].type is OpType.AMO_LOAD
+        assert held[-1].amo is AmoKind.SWAP
+
+
+class TestBackoffSaturation:
+    def test_waits_double_then_saturate_at_max(self):
+        """With rng=None the waits are exactly 8,16,32,64,64,64,..."""
+        gen = spin_until_zero(0x2000, max_backoff=64, initial_backoff=8)
+        # Six failed reads (each followed by a think), then success.
+        ops = drain(gen, results=[1, 0] * 6 + [0])
+        waits = [op.cycles for op in ops if op.type is OpType.THINK]
+        assert waits == [8, 16, 32, 64, 64, 64]
+        reads = [op for op in ops if op.type is OpType.READ]
+        assert len(reads) == 7 and all(op.addr == 0x2000 for op in reads)
+
+    def test_jittered_waits_stay_within_one_backoff_of_schedule(self):
+        gen = spin_until_zero(0x2000, max_backoff=64, initial_backoff=8,
+                              rng=random.Random(7))
+        ops = drain(gen, results=[1, 0] * 6 + [0])
+        waits = [op.cycles for op in ops if op.type is OpType.THINK]
+        schedule = [8, 16, 32, 64, 64, 64]
+        assert len(waits) == len(schedule)
+        for wait, base in zip(waits, schedule):
+            assert base <= wait < 2 * base
+
+    def test_immediate_zero_emits_no_think(self):
+        ops = drain(spin_until_zero(0x2000), results=[0])
+        assert [op.type for op in ops] == [OpType.READ]
+
+    def test_spinlock_failed_cas_saturates_too(self):
+        """The contended acquire's spin inherits the same saturation."""
+        lock = SpinLock(0x3000)
+        # One failed CAS, then a single long spin: three failed reads
+        # (waits 512, 1024, 1024 with max_backoff=1024), a zero read,
+        # and the winning CAS.
+        results = [9] + [1, 0] * 3 + [0] + [0]
+        ops = drain(lock.acquire(tid=2, max_backoff=1024), results=results)
+        waits = [op.cycles for op in ops if op.type is OpType.THINK]
+        assert waits == [512, 1024, 1024]
+
+    def test_spinlock_backoff_resets_each_spin_round(self):
+        """Each retry's spin starts over at the initial backoff."""
+        lock = SpinLock(0x3000)
+        # Two rounds of CAS(fail) -> READ(fail) -> THINK -> READ(zero).
+        results = [9, 1, 0, 0] * 2 + [0]
+        ops = drain(lock.acquire(tid=2, max_backoff=1024), results=results)
+        waits = [op.cycles for op in ops if op.type is OpType.THINK]
+        assert waits == [512, 512]
+
+
+class TestTestFirstFastPath:
+    def test_spinlock_default_leads_with_cas(self):
+        ops = drain(SpinLock(0x4000).acquire(tid=0), results=[0])
+        assert ops[0].type is OpType.AMO_LOAD
+        assert ops[0].amo is AmoKind.CAS
+        assert len(ops) == 1
+
+    def test_spinlock_test_first_reads_before_cas(self):
+        lock = SpinLock(0x4000, test_first=True)
+        ops = drain(lock.acquire(tid=0), results=[0, 0])
+        assert [op.type for op in ops] == [OpType.READ, OpType.AMO_LOAD]
+        assert ops[0].addr == 0x4000
+        assert ops[1].amo is AmoKind.CAS
+
+    def test_spinlock_cas_success_checks_old_value(self):
+        """old != 0 means the CAS lost, even if it looks available later."""
+        lock = SpinLock(0x4000)
+        # First CAS returns 9 (lost), spin sees 0, second CAS wins.
+        ops = drain(lock.acquire(tid=2), results=[9, 0, 0])
+        cas_ops = [op for op in ops if op.amo is AmoKind.CAS]
+        assert len(cas_ops) == 2
+        assert all(op.expected == 0 and op.value == 3 for op in cas_ops)
+
+    def test_mutex_test_first_inserts_read_between_kind_and_cas(self):
+        mutex = PthreadMutex(0x5000)
+        ops = drain(mutex.acquire(tid=1, test_first=True),
+                    results=[0, 0, 0, 0, 0])
+        kinds = [op.type for op in ops]
+        assert kinds[:3] == [OpType.READ, OpType.READ, OpType.AMO_LOAD]
+        assert ops[0].addr == mutex.kind_addr
+        assert ops[1].addr == mutex.lock_addr
