@@ -26,6 +26,10 @@ Commands:
   workload generators (races, deadlocks, false sharing, barrier
   divergence) plus coherence transition exhaustiveness; exits non-zero
   on unsuppressed errors not covered by the baseline.
+* ``repro golden [--update] [--jobs N]`` — recompute the pinned
+  golden-digest corpus (stats + trace hashes per workload x policy) and
+  compare against ``tests/golden/digests.json``; ``--update`` is the
+  only way to regenerate the committed digests.
 """
 
 from __future__ import annotations
@@ -173,6 +177,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="snapshot current findings and exit")
     lint.add_argument("--no-coherence", action="store_true",
                       help="skip the coherence transition checker")
+
+    golden = sub.add_parser(
+        "golden", help="check (or --update) the committed golden-trace "
+                       "digest corpus")
+    golden.add_argument("--update", action="store_true",
+                        help="regenerate the committed digests (the only "
+                             "sanctioned way to change them)")
+    golden.add_argument("--digests", metavar="FILE", default=None,
+                        help="digest corpus file "
+                             "(default: tests/golden/digests.json)")
+    golden.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the recompute")
     return parser
 
 
@@ -332,6 +348,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.harness.golden import DEFAULT_DIGEST_PATH, golden_main
+
+    code, report = golden_main(
+        path=args.digests or DEFAULT_DIGEST_PATH,
+        update=args.update, jobs=args.jobs)
+    print(report)
+    return code
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     cost = amt_cost(args.entries, args.ways, args.counter_bits)
     print(cost.describe())
@@ -360,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -19,6 +19,8 @@ non-blocking smoke job so the trajectory accumulates from day one.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 import platform
@@ -62,6 +64,21 @@ def bench_specs() -> List[RunSpec]:
             for wl, pol, threads, scale in BENCH_GRID]
 
 
+def grid_fingerprint() -> str:
+    """Hash of the fully resolved bench grid (specs, not cache keys).
+
+    Wall-time records are only comparable when they measured the same
+    work; the fingerprint rides along in every record so history
+    entries from a different grid are never used as a baseline, and so
+    a test can assert the grid has not drifted from the committed one.
+    Spec *fields* are hashed (not executor cache keys) so cache-version
+    bumps do not read as grid changes.
+    """
+    payload = json.dumps([dataclasses.asdict(s) for s in bench_specs()],
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def run_bench(jobs: int = 1) -> Dict:
     """Simulate the pinned grid (uncached) and build a history record."""
     specs = bench_specs()
@@ -82,6 +99,7 @@ def run_bench(jobs: int = 1) -> Dict:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "jobs": jobs,
         "python": platform.python_version(),
+        "grid_sha256": grid_fingerprint(),
         "wall_s": round(wall_s, 4),
         "simulated_cycles": sum(c["cycles"] for c in cells),
         "cells": cells,
@@ -123,7 +141,8 @@ def check_regression(record: Dict, history: List[Dict]) -> Tuple[bool, str]:
     prior = [entry for entry in history
              if entry is not record
              and entry.get("schema") == record["schema"]
-             and entry.get("jobs") == record["jobs"]]
+             and entry.get("jobs") == record["jobs"]
+             and entry.get("grid_sha256") == record.get("grid_sha256")]
     if not prior:
         return True, (f"no comparable history; recorded "
                       f"{record['wall_s']:.2f}s as the first baseline")

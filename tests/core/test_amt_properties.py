@@ -1,0 +1,98 @@
+"""Property-based tests for the AMT's set indexing and aliasing.
+
+The predictor's behaviour (Section VI-F: bigger tables can *hurt*)
+hinges on exactly which blocks alias into a set and who gets evicted.
+These invariants must hold for any geometry, not just 128x4.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.amt import AmoMetadataTable
+
+blocks = st.integers(min_value=0, max_value=2**42 - 1)
+
+
+@st.composite
+def geometries(draw):
+    ways = draw(st.integers(min_value=1, max_value=8))
+    sets = draw(st.integers(min_value=1, max_value=64))
+    return sets * ways, ways
+
+
+@given(geometries(), blocks)
+def test_set_index_is_block_mod_sets(geom, block):
+    """A block lands in (and is found in) set ``block % num_sets``."""
+    entries, ways = geom
+    amt = AmoMetadataTable(entries, ways)
+    amt.allocate(block, "e")
+    assert amt.peek(block) == "e"
+    assert block in amt._sets[block % amt.num_sets]
+
+
+@given(geometries(), blocks, blocks)
+def test_aliasing_iff_same_set(geom, a, b):
+    """Two blocks can only evict each other when they share a set."""
+    entries, ways = geom
+    amt = AmoMetadataTable(entries, ways)
+    amt.allocate(a, "a")
+    victim = None
+    # Fill b's set to capacity with unique aliases, then overflow it.
+    aliases = [b + k * amt.num_sets for k in range(ways + 1)]
+    for alias in aliases:
+        out = amt.allocate(alias, f"v{alias}")
+        if out is not None:
+            victim = out
+    if a % amt.num_sets != b % amt.num_sets:
+        # a lives in another set: it can never be the victim.
+        assert amt.peek(a) == "a"
+        assert victim is None or victim[0] != a
+    # Occupancy invariants hold regardless.
+    assert len(amt) <= entries
+    assert all(len(s) <= ways for s in amt._sets)
+
+
+@given(geometries(), blocks)
+def test_lru_eviction_order_within_set(geom, base):
+    """Overflowing a set evicts the least recently used alias."""
+    entries, ways = geom
+    amt = AmoMetadataTable(entries, ways)
+    aliases = [base + k * amt.num_sets for k in range(ways)]
+    for alias in aliases:
+        assert amt.allocate(alias, alias) is None
+    # Touch the oldest: the victim must now be the second-oldest.
+    assert amt.lookup(aliases[0]) == aliases[0]
+    victim = amt.allocate(base + ways * amt.num_sets, "new")
+    if ways == 1:
+        assert victim == (aliases[0], aliases[0])
+    else:
+        assert victim == (aliases[1], aliases[1])
+    assert amt.evictions == 1
+
+
+@given(geometries(), blocks)
+def test_peek_and_items_do_not_perturb(geom, base):
+    """peek()/items() change neither LRU order nor hit/miss counters."""
+    entries, ways = geom
+    amt = AmoMetadataTable(entries, ways)
+    aliases = [base + k * amt.num_sets for k in range(ways)]
+    for alias in aliases:
+        amt.allocate(alias, alias)
+    hits, misses = amt.hits, amt.misses
+    amt.peek(aliases[0])
+    list(amt.items())
+    assert (amt.hits, amt.misses) == (hits, misses)
+    if ways > 1:
+        # LRU order unchanged: oldest alias is still the victim.
+        victim = amt.allocate(base + ways * amt.num_sets, "new")
+        assert victim == (aliases[0], aliases[0])
+
+
+@given(geometries(), blocks)
+def test_reallocate_resident_block_never_evicts(geom, block):
+    entries, ways = geom
+    amt = AmoMetadataTable(entries, ways)
+    amt.allocate(block, "old")
+    assert amt.allocate(block, "new") is None
+    assert amt.peek(block) == "new"
+    assert len(amt) == 1

@@ -1,0 +1,68 @@
+"""Property-based tests for the address interleaving map.
+
+The whole point of block-granularity striping is that *every* block has
+exactly one home slice and one HBM channel, the mapping is pure, and
+consecutive blocks spread evenly.  Hypothesis explores the address
+space far beyond the hand-picked values of ``test_mem.py``.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend.isa import BLOCK_SHIFT, BLOCK_SIZE, block_of
+from repro.mem.address import AddressMap
+
+addrs = st.integers(min_value=0, max_value=2**48 - 1)
+blocks = st.integers(min_value=0, max_value=2**42 - 1)
+slices = st.integers(min_value=1, max_value=64)
+channels = st.integers(min_value=1, max_value=16)
+
+
+@given(addrs)
+def test_block_round_trip(addr):
+    """addr -> block -> byte range contains addr."""
+    block = block_of(addr)
+    assert block << BLOCK_SHIFT <= addr < (block + 1) << BLOCK_SHIFT
+    assert BLOCK_SIZE == 1 << BLOCK_SHIFT
+
+
+@given(addrs, slices, channels)
+def test_addr_and_block_mapping_agree(addr, num_slices, num_channels):
+    """slice_of_addr is exactly slice_of_block o block_of."""
+    amap = AddressMap(num_slices, num_channels)
+    assert amap.slice_of_addr(addr) == amap.slice_of_block(block_of(addr))
+
+
+@given(blocks, slices, channels)
+def test_mapping_in_range_and_stable(block, num_slices, num_channels):
+    """Outputs are valid indices and the map is pure (stable)."""
+    amap = AddressMap(num_slices, num_channels)
+    s = amap.slice_of_block(block)
+    c = amap.channel_of_block(block)
+    assert 0 <= s < num_slices
+    assert 0 <= c < num_channels
+    assert amap.slice_of_block(block) == s
+    assert amap.channel_of_block(block) == c
+    # An independently constructed map agrees: no hidden instance state.
+    assert AddressMap(num_slices, num_channels).slice_of_block(block) == s
+
+
+@given(slices, channels, st.integers(min_value=0, max_value=2**30))
+def test_full_coverage_and_even_interleaving(num_slices, num_channels, base):
+    """Any num_slices consecutive blocks cover every slice exactly once,
+    and a full slice x channel window covers every channel per slice."""
+    amap = AddressMap(num_slices, num_channels)
+    window = [amap.slice_of_block(base + i) for i in range(num_slices)]
+    assert sorted(window) == list(range(num_slices))
+    # Blocks with the same home slice stripe round-robin over channels.
+    same_slice = [base * num_slices + amap.slice_of_block(0)
+                  + k * num_slices for k in range(num_channels)]
+    chans = {amap.channel_of_block(b) for b in same_slice}
+    assert chans == set(range(num_channels))
+
+
+@given(blocks, slices, channels, channels)
+def test_slice_mapping_independent_of_channels(block, num_slices, ch_a, ch_b):
+    """The home-node mapping never depends on the channel count."""
+    assert (AddressMap(num_slices, ch_a).slice_of_block(block)
+            == AddressMap(num_slices, ch_b).slice_of_block(block))

@@ -1,0 +1,61 @@
+"""The bench grid is pinned: wall-time records must measure known work.
+
+``BENCH_history.json`` is only a perf trajectory if every record ran
+the same grid.  These tests assert (a) records carry the grid
+fingerprint, (b) the regression check refuses to baseline against a
+record from a different grid, and (c) the grid the code plans *today*
+hashes to the fingerprint in the committed history — so silently
+editing ``BENCH_GRID`` (or the config defaults it resolves against)
+fails loudly until the history is deliberately re-seeded.
+"""
+
+import json
+import os
+
+from repro.obs.bench import (BENCH_SCHEMA, check_regression,
+                             grid_fingerprint, load_history)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+HISTORY_PATH = os.path.join(REPO_ROOT, "BENCH_history.json")
+
+
+def _record(wall_s, grid="g1"):
+    return {"schema": BENCH_SCHEMA, "timestamp": "2026-01-01T00:00:00",
+            "jobs": 1, "python": "3.11", "grid_sha256": grid,
+            "wall_s": wall_s, "simulated_cycles": 1000, "cells": []}
+
+
+def test_grid_fingerprint_is_stable():
+    assert grid_fingerprint() == grid_fingerprint()
+    assert len(grid_fingerprint()) == 64
+
+
+def test_check_refuses_cross_grid_baselines():
+    history = [_record(0.1, grid="old-grid")]
+    record = _record(9.9, grid="new-grid")
+    history.append(record)
+    ok, msg = check_regression(record, history)
+    assert ok, "a record from another grid must not serve as baseline"
+    assert "first baseline" in msg
+
+
+def test_committed_history_matches_current_grid():
+    """Every committed record hashed the grid the code plans today."""
+    history = load_history(HISTORY_PATH)
+    assert history, f"seeded bench history missing at {HISTORY_PATH}"
+    current = grid_fingerprint()
+    for i, entry in enumerate(history):
+        assert entry.get("grid_sha256") == current, (
+            f"BENCH_history.json entry {i} was recorded on a different "
+            f"bench grid; re-seed the history when changing BENCH_GRID")
+
+
+def test_committed_history_is_valid_json_records():
+    with open(HISTORY_PATH) as fh:
+        raw = json.load(fh)
+    assert isinstance(raw, list)
+    for entry in raw:
+        for field in ("schema", "jobs", "wall_s", "simulated_cycles",
+                      "cells", "grid_sha256"):
+            assert field in entry
