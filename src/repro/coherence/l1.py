@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.sim.events import EventBus
 
 
-@dataclass
+@dataclass(slots=True)
 class Departure:
     """A block that left the L1D and possibly the whole private hierarchy."""
 
@@ -40,11 +40,17 @@ class Departure:
     left_hierarchy: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class InsertResult:
     """Outcome of allocating a block into the L1D."""
 
     departures: List[Departure] = field(default_factory=list)
+
+
+#: Shared result for the no-victim path of :meth:`insert_l1` — by far the
+#: most common outcome.  Its departures are an (immutable) empty tuple so
+#: an accidental append fails loudly instead of corrupting every caller.
+_NO_DEPARTURES = InsertResult(departures=())  # type: ignore[arg-type]
 
 
 class PrivateCacheHierarchy:
@@ -64,6 +70,12 @@ class PrivateCacheHierarchy:
                                 config.block_size)
         self.core_id = core_id
         self.bus = bus
+        # The L1 set array and geometry, aliased for the inlined lookups
+        # below — every simulated load/store/AMO passes through them.
+        self._l1_sets = self.l1._sets
+        self._l1_nsets = self.l1.num_sets
+        self._l2_sets = self.l2._sets
+        self._l2_nsets = self.l2.num_sets
 
     # --- lookups ---
 
@@ -75,24 +87,30 @@ class PrivateCacheHierarchy:
         exactly why the Shared Far policy re-fetches absent blocks — they
         may merely have been evicted to the L2.
         """
-        line = self.l1.lookup(block, touch=False)
+        line = self._l1_sets[block % self._l1_nsets].get(block)
         return line.state if line is not None else CacheState.I
 
     def find(self, block: int) -> Tuple[Optional[CacheLine], Optional[int]]:
         """Locate ``block``; returns (line, level) with level 1, 2 or None."""
-        line = self.l1.lookup(block, touch=False)
+        line = self._l1_sets[block % self._l1_nsets].get(block)
         if line is not None:
             return line, 1
-        line = self.l2.lookup(block, touch=False)
+        line = self._l2_sets[block % self._l2_nsets].get(block)
         if line is not None:
             return line, 2
         return None, None
 
     def touch_l1(self, block: int) -> Optional[CacheLine]:
         """LRU-touch an L1-resident block and mark AMO-fetched reuse."""
-        line = self.l1.lookup(block, touch=True)
-        if line is not None and line.fetched_by_amo:
-            line.reused = True
+        line_set = self._l1_sets[block % self._l1_nsets]
+        line = line_set.get(block)
+        if line is not None:
+            # Re-insert to promote to most-recently-used (dict order is
+            # the LRU stack, see repro.coherence.cache).
+            del line_set[block]
+            line_set[block] = line
+            if line.fetched_by_amo:
+                line.reused = True
         return line
 
     # --- allocation and movement ---
@@ -105,25 +123,34 @@ class PrivateCacheHierarchy:
         (if any) always departs the L1; if spilling it into the L2 evicts
         an L2 victim, that block departs the hierarchy.
         """
-        result = InsertResult()
         new_line = CacheLine(block, state, fetched_by_amo)
         # The block may be in L2 (promotion): remove the stale copy first.
-        self.l2.remove(block)
-        l1_victim = self.l1.insert(new_line)
-        if l1_victim is not None:
-            l2_victim = self.l2.insert(l1_victim)
-            result.departures.append(Departure(l1_victim, left_hierarchy=False))
-            if l2_victim is not None:
-                result.departures.append(Departure(l2_victim, left_hierarchy=True))
-            bus = self.bus
-            if bus is not None and bus.active:
-                for dep in result.departures:
-                    bus.emit(Event(
-                        EventKind.L1_EVICTION, bus.now, self.core_id,
-                        dep.line.block,
-                        info={"left_hierarchy": dep.left_hierarchy,
-                              "fetched_by_amo": dep.line.fetched_by_amo,
-                              "reused": dep.line.reused}))
+        # The L2 remove and the L1 insert are inlined dict operations on
+        # the aliased set arrays (this runs once per cache fill).
+        self._l2_sets[block % self._l2_nsets].pop(block, None)
+        l1_set = self._l1_sets[block % self._l1_nsets]
+        l1_victim = None
+        if block in l1_set:
+            del l1_set[block]
+        elif len(l1_set) >= self.l1.ways:
+            l1_victim = l1_set.pop(next(iter(l1_set)))
+        l1_set[block] = new_line
+        if l1_victim is None:
+            return _NO_DEPARTURES
+        result = InsertResult()
+        l2_victim = self.l2.insert(l1_victim)
+        result.departures.append(Departure(l1_victim, left_hierarchy=False))
+        if l2_victim is not None:
+            result.departures.append(Departure(l2_victim, left_hierarchy=True))
+        bus = self.bus
+        if bus is not None and bus.active:
+            for dep in result.departures:
+                bus.emit(Event(
+                    EventKind.L1_EVICTION, bus.now, self.core_id,
+                    dep.line.block,
+                    info={"left_hierarchy": dep.left_hierarchy,
+                          "fetched_by_amo": dep.line.fetched_by_amo,
+                          "reused": dep.line.reused}))
         return result
 
     def promote(self, block: int, fetched_by_amo: bool = False) -> InsertResult:

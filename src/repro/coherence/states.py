@@ -15,6 +15,12 @@ Invalid      I       no valid copy
 
 Static AMO policies (Table I) and the DynAMO predictors key their
 decisions on this state as observed at the requesting L1D.
+
+The enum is integer-coded and its predicates are precomputed member
+*attributes* (not properties): state tests sit on the simulator's
+hottest path, where an attribute load beats a descriptor call and an
+int hash beats ``Enum.__hash__``.  The long CHI names live on
+``chi_name``; ``.name`` keeps the short mnemonic used by traces.
 """
 
 from __future__ import annotations
@@ -22,33 +28,42 @@ from __future__ import annotations
 import enum
 
 
-class CacheState(enum.Enum):
+class CacheState(enum.IntEnum):
     """Coherence state of a block in a private cache (CHI naming)."""
 
-    UC = "UniqueClean"
-    UD = "UniqueDirty"
-    SC = "SharedClean"
-    SD = "SharedDirty"
-    I = "Invalid"  # noqa: E741 - the protocol's own name
+    UC = 0
+    UD = 1
+    SC = 2
+    SD = 3
+    I = 4  # noqa: E741 - the protocol's own name
 
-    @property
-    def is_unique(self) -> bool:
-        """True when the cache holds the only copy (write permission)."""
-        return self in (CacheState.UC, CacheState.UD)
+    # Precomputed per-member attributes, assigned below the class body
+    # (annotation-only here so type checkers see them).
+    #: the protocol's long name (UniqueClean, ...).
+    chi_name: str
+    #: True when the cache holds the only copy (write permission).
+    is_unique: bool
+    #: True when other caches may hold read-only copies.
+    is_shared: bool
+    is_valid: bool
+    #: True when this cache is responsible for writing data back.
+    is_dirty: bool
 
-    @property
-    def is_shared(self) -> bool:
-        """True when other caches may hold read-only copies."""
-        return self in (CacheState.SC, CacheState.SD)
 
-    @property
-    def is_valid(self) -> bool:
-        return self is not CacheState.I
-
-    @property
-    def is_dirty(self) -> bool:
-        """True when this cache is responsible for writing data back."""
-        return self in (CacheState.UD, CacheState.SD)
+_CHI_NAMES = {
+    CacheState.UC: "UniqueClean",
+    CacheState.UD: "UniqueDirty",
+    CacheState.SC: "SharedClean",
+    CacheState.SD: "SharedDirty",
+    CacheState.I: "Invalid",
+}
+for _state in CacheState:
+    _state.chi_name = _CHI_NAMES[_state]
+    _state.is_unique = _state in (CacheState.UC, CacheState.UD)
+    _state.is_shared = _state in (CacheState.SC, CacheState.SD)
+    _state.is_valid = _state is not CacheState.I
+    _state.is_dirty = _state in (CacheState.UD, CacheState.SD)
+del _state
 
 
 #: The states a placement policy actually chooses between.  When the block

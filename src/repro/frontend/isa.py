@@ -35,30 +35,35 @@ def block_of(addr: int) -> int:
     return addr >> BLOCK_SHIFT
 
 
-class AmoKind(enum.Enum):
-    """Arithmetic performed by an atomic memory operation."""
+class AmoKind(enum.IntEnum):
+    """Arithmetic performed by an atomic memory operation.
 
-    ADD = "add"
-    AND = "and"
-    OR = "or"
-    XOR = "xor"
-    MIN = "min"
-    MAX = "max"
-    SWAP = "swap"
-    CAS = "cas"
+    Integer-coded: the codes index the :func:`apply_amo` dispatch table
+    directly, and identity/hash on the simulator's hot path cost what a
+    small int costs.
+    """
 
-
-class OpType(enum.Enum):
-    """Top-level operation classes a program can issue."""
-
-    READ = "read"
-    WRITE = "write"
-    AMO_LOAD = "amo_load"
-    AMO_STORE = "amo_store"
-    THINK = "think"
+    ADD = 0
+    AND = 1
+    OR = 2
+    XOR = 3
+    MIN = 4
+    MAX = 5
+    SWAP = 6
+    CAS = 7
 
 
-@dataclass
+class OpType(enum.IntEnum):
+    """Top-level operation classes a program can issue (integer-coded)."""
+
+    READ = 0
+    WRITE = 1
+    AMO_LOAD = 2
+    AMO_STORE = 3
+    THINK = 4
+
+
+@dataclass(slots=True)
 class MemOp:
     """A single dynamic operation issued by a program.
 
@@ -91,9 +96,24 @@ class MemOp:
         return self.addr >> BLOCK_SHIFT
 
 
+# Interning caches for the factories that dominate generated programs.
+# MemOps are immutable by convention (nothing in the simulator or the
+# analyses writes an op field after construction), so identical ops can
+# share one instance; workload generators re-issue the same
+# read/add/think shapes millions of times and the dataclass construction
+# cost is measurable in the bench grid.
+_READ_CACHE: dict = {}
+_THINK_CACHE: dict = {}
+_LDADD_CACHE: dict = {}
+_STADD_CACHE: dict = {}
+
+
 def read(addr: int) -> MemOp:
     """Plain load from ``addr``."""
-    return MemOp(OpType.READ, addr)
+    op = _READ_CACHE.get(addr)
+    if op is None:
+        op = _READ_CACHE[addr] = MemOp(OpType.READ, addr)
+    return op
 
 
 def write(addr: int, value: int = 0) -> MemOp:
@@ -108,18 +128,32 @@ def think(cycles: int, instructions: Optional[int] = None) -> MemOp:
     which approximates a core sustaining its issue width on compute code.
     """
     if instructions is None:
-        instructions = max(1, cycles)
+        op = _THINK_CACHE.get(cycles)
+        if op is None:
+            op = _THINK_CACHE[cycles] = MemOp(
+                OpType.THINK, cycles=cycles, instructions=max(1, cycles))
+        return op
     return MemOp(OpType.THINK, cycles=cycles, instructions=instructions)
 
 
 def ldadd(addr: int, value: int) -> MemOp:
     """Atomic fetch-and-add returning the old value."""
-    return MemOp(OpType.AMO_LOAD, addr, value=value, amo=AmoKind.ADD)
+    key = (addr, value)
+    op = _LDADD_CACHE.get(key)
+    if op is None:
+        op = _LDADD_CACHE[key] = MemOp(OpType.AMO_LOAD, addr, value=value,
+                                       amo=AmoKind.ADD)
+    return op
 
 
 def stadd(addr: int, value: int) -> MemOp:
     """Atomic add with no return value (atomic-no-return)."""
-    return MemOp(OpType.AMO_STORE, addr, value=value, amo=AmoKind.ADD)
+    key = (addr, value)
+    op = _STADD_CACHE.get(key)
+    if op is None:
+        op = _STADD_CACHE[key] = MemOp(OpType.AMO_STORE, addr, value=value,
+                                       amo=AmoKind.ADD)
+    return op
 
 
 def ldmin(addr: int, value: int) -> MemOp:
@@ -160,26 +194,29 @@ def cas(addr: int, expected: int, new: int) -> MemOp:
     return MemOp(OpType.AMO_LOAD, addr, value=new, amo=AmoKind.CAS, expected=expected)
 
 
+#: Dispatch table for :func:`apply_amo`, indexed by the AmoKind int code.
+_AMO_FUNCS = [
+    lambda old, operand, expected: old + operand,            # ADD
+    lambda old, operand, expected: old & operand,            # AND
+    lambda old, operand, expected: old | operand,            # OR
+    lambda old, operand, expected: old ^ operand,            # XOR
+    lambda old, operand, expected: min(old, operand),        # MIN
+    lambda old, operand, expected: max(old, operand),        # MAX
+    lambda old, operand, expected: operand,                  # SWAP
+    lambda old, operand, expected: (operand if old == expected
+                                    else old),               # CAS
+]
+assert len(_AMO_FUNCS) == len(AmoKind)
+
+
 def apply_amo(kind: AmoKind, old: int, operand: int, expected: int = 0) -> int:
     """Compute the new memory value an AMO produces.
 
     Returns the value stored back to memory.  For ``CAS`` the store only
     happens when ``old == expected``.
     """
-    if kind is AmoKind.ADD:
-        return old + operand
-    if kind is AmoKind.AND:
-        return old & operand
-    if kind is AmoKind.OR:
-        return old | operand
-    if kind is AmoKind.XOR:
-        return old ^ operand
-    if kind is AmoKind.MIN:
-        return min(old, operand)
-    if kind is AmoKind.MAX:
-        return max(old, operand)
-    if kind is AmoKind.SWAP:
-        return operand
-    if kind is AmoKind.CAS:
-        return operand if old == expected else old
-    raise ValueError(f"unknown AMO kind: {kind!r}")
+    try:
+        func = _AMO_FUNCS[kind]
+    except (IndexError, TypeError):
+        raise ValueError(f"unknown AMO kind: {kind!r}") from None
+    return func(old, operand, expected)

@@ -20,14 +20,19 @@ class AddressMap:
             raise ValueError("need at least one slice and one channel")
         self.num_slices = num_slices
         self.num_channels = num_channels
+        # Power-of-two slice counts (the Table II system) map with a
+        # mask; the modulo fallback keeps odd test geometries working.
+        self._slice_mask = (num_slices - 1) \
+            if num_slices & (num_slices - 1) == 0 else None
 
     def slice_of_block(self, block: int) -> int:
         """Home-node slice owning ``block``."""
-        return block % self.num_slices
+        mask = self._slice_mask
+        return block & mask if mask is not None else block % self.num_slices
 
     def slice_of_addr(self, addr: int) -> int:
         """Home-node slice owning the block containing ``addr``."""
-        return (addr >> BLOCK_SHIFT) % self.num_slices
+        return self.slice_of_block(addr >> BLOCK_SHIFT)
 
     def channel_of_block(self, block: int) -> int:
         """HBM channel serving ``block``."""

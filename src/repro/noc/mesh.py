@@ -12,12 +12,17 @@ The model is analytical: a message from tile A to tile B costs
 the destination node).  Queueing inside the fabric is not modelled — the
 serialization that matters for AMO placement happens at the home node and
 is modelled there (:mod:`repro.coherence.directory`).
+
+All pairwise distances are fixed at construction, so the mesh builds dense
+core<->slice / core<->core latency and hop tables up front; the per-message
+cost of every routing query is two list indexes.  :class:`Machine` aliases
+these tables directly in its transaction handlers.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.noc.message import MsgType
 
@@ -58,10 +63,32 @@ class Mesh:
         self.router_latency = router_latency
         self.link_latency = link_latency
         self.bus = bus
+        #: fused traffic meter, aliased so :meth:`record` skips the bus hop.
+        self._traffic = bus.traffic if bus is not None else None
         self.cols, self.rows = mesh_dims(num_cores + num_slices)
         # Interleave RN/HN tiles: cores on even tile ids, slices on odd.
         self._core_tile = [self._tile_for(2 * i) for i in range(num_cores)]
         self._slice_tile = [self._tile_for(2 * i + 1) for i in range(num_slices)]
+        # Dense distance tables: [src][dst] hop counts and latencies.
+        per_hop = router_latency + link_latency
+        self.c2s_hops: List[List[int]] = [
+            [self.hops(ct, st) for st in self._slice_tile]
+            for ct in self._core_tile]
+        self.s2c_hops: List[List[int]] = [
+            [self.hops(st, ct) for ct in self._core_tile]
+            for st in self._slice_tile]
+        self.c2c_hops: List[List[int]] = [
+            [self.hops(a, b) for b in self._core_tile]
+            for a in self._core_tile]
+        self.c2s_lat: List[List[int]] = [
+            [h * per_hop + router_latency for h in row]
+            for row in self.c2s_hops]
+        self.s2c_lat: List[List[int]] = [
+            [h * per_hop + router_latency for h in row]
+            for row in self.s2c_hops]
+        self.c2c_lat: List[List[int]] = [
+            [h * per_hop + router_latency for h in row]
+            for row in self.c2c_hops]
 
     def record(self, msg: MsgType, hops: int, count: int = 1,
                enqueue: Optional[int] = None,
@@ -76,10 +103,16 @@ class Mesh:
         servicing them); the difference is the message's queueing delay,
         which observability sinks histogram.
         """
-        bus = self.bus
-        if bus is None:
+        meter = self._traffic
+        if meter is None:
             return
-        bus.traffic.record(msg, hops, count)
+        # Inlined TrafficMeter.record: this is the most frequent
+        # accounting call in a simulation.
+        meter.messages[msg] += count
+        flits = msg.flits * count
+        meter.flits += flits
+        meter.flit_hops += flits * hops
+        bus = self.bus
         if bus.active:
             # Imported here, not at module level: repro.sim.events pulls
             # in repro.noc.message, so a top-level import would be
@@ -116,27 +149,25 @@ class Mesh:
 
     def core_to_slice(self, core: int, slice_id: int) -> int:
         """Latency of a core -> home-node message."""
-        return self.latency(self._core_tile[core], self._slice_tile[slice_id])
+        return self.c2s_lat[core][slice_id]
 
     def slice_to_core(self, slice_id: int, core: int) -> int:
         """Latency of a home-node -> core message."""
-        return self.latency(self._slice_tile[slice_id], self._core_tile[core])
+        return self.s2c_lat[slice_id][core]
 
     def core_to_core(self, a: int, b: int) -> int:
         """Latency of a direct core -> core message (forwarded data)."""
-        return self.latency(self._core_tile[a], self._core_tile[b])
+        return self.c2c_lat[a][b]
 
     def hops_core_to_slice(self, core: int, slice_id: int) -> int:
         """Hop count of a core -> home-node route (energy accounting)."""
-        return self.hops(self._core_tile[core], self._slice_tile[slice_id])
+        return self.c2s_hops[core][slice_id]
 
     def hops_slice_to_core(self, slice_id: int, core: int) -> int:
         """Hop count of a home-node -> core route (energy accounting)."""
-        return self.hops(self._slice_tile[slice_id], self._core_tile[core])
+        return self.s2c_hops[slice_id][core]
 
     def average_core_slice_latency(self) -> float:
         """Mean one-way RN->HN latency over all (core, slice) pairs."""
-        total = sum(self.core_to_slice(c, s)
-                    for c in range(self.num_cores)
-                    for s in range(self.num_slices))
+        total = sum(sum(row) for row in self.c2s_lat)
         return total / (self.num_cores * self.num_slices)

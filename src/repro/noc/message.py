@@ -5,6 +5,12 @@ number and size of messages sent.  We therefore classify every protocol
 message the transaction flows of Fig. 2 generate, with a flit count per
 class (control messages are single-flit; data-carrying messages add the
 64-byte payload).
+
+``MsgType`` is integer-backed so the per-message Counter update in
+:meth:`TrafficMeter.record` — the single most frequent accounting call in
+a simulation — hashes a small int instead of going through
+``Enum.__hash__``; ``flits`` is a precomputed member attribute for the
+same reason.
 """
 
 from __future__ import annotations
@@ -19,34 +25,42 @@ DATA_FLITS = 5
 CTRL_FLITS = 1
 
 
-class MsgType(enum.Enum):
+class MsgType(int, enum.Enum):
     """Protocol message classes (name -> carries data?)."""
 
-    READ_REQ = ("ReadShared/ReadUnique request", False)
-    ATOMIC_REQ = ("AtomicLoad/AtomicStore request", True)  # carries operand
-    SNOOP = ("Snoop request", False)
-    SNOOP_RESP = ("Snoop response (dataless)", False)
-    SNOOP_DATA = ("Snoop response with data", True)
-    COMP_DATA = ("CompData (block to requestor)", True)
-    COMP_ACK = ("Comp / CompAck (dataless)", False)
-    AMO_DATA = ("AtomicLoad old-value return", False)  # 8B, single flit
-    WRITEBACK = ("WriteBack / CopyBack data", True)
-    EVICT_NOTIFY = ("Clean evict notification", False)
-    MEM_READ = ("Memory read command", False)
-    MEM_DATA = ("Memory data return", True)
-    MEM_WRITE = ("Memory write (block)", True)
+    # Precomputed member attributes (annotation-only for type checkers).
+    description: str
+    carries_data: bool
+    flits: int
 
-    def __init__(self, description: str, carries_data: bool) -> None:
-        self.description = description
-        self.carries_data = carries_data
+    def __new__(cls, code: int, description: str,
+                carries_data: bool) -> "MsgType":
+        obj = int.__new__(cls, code)
+        obj._value_ = code
+        obj.description = description
+        obj.carries_data = carries_data
+        obj.flits = DATA_FLITS if carries_data else CTRL_FLITS
+        return obj
 
-    @property
-    def flits(self) -> int:
-        return DATA_FLITS if self.carries_data else CTRL_FLITS
+    READ_REQ = (0, "ReadShared/ReadUnique request", False)
+    ATOMIC_REQ = (1, "AtomicLoad/AtomicStore request", True)  # carries operand
+    SNOOP = (2, "Snoop request", False)
+    SNOOP_RESP = (3, "Snoop response (dataless)", False)
+    SNOOP_DATA = (4, "Snoop response with data", True)
+    COMP_DATA = (5, "CompData (block to requestor)", True)
+    COMP_ACK = (6, "Comp / CompAck (dataless)", False)
+    AMO_DATA = (7, "AtomicLoad old-value return", False)  # 8B, single flit
+    WRITEBACK = (8, "WriteBack / CopyBack data", True)
+    EVICT_NOTIFY = (9, "Clean evict notification", False)
+    MEM_READ = (10, "Memory read command", False)
+    MEM_DATA = (11, "Memory data return", True)
+    MEM_WRITE = (12, "Memory write (block)", True)
 
 
 class TrafficMeter:
     """Counts messages, flits and hop-flits crossing the NoC."""
+
+    __slots__ = ("messages", "flit_hops", "flits")
 
     def __init__(self) -> None:
         self.messages: Counter = Counter()

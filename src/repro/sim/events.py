@@ -158,7 +158,7 @@ class EventBus:
     """
 
     __slots__ = ("stats", "traffic", "now", "active", "_sinks",
-                 "stats_sink", "traffic_sink")
+                 "_event_sinks", "stats_sink", "traffic_sink")
 
     def __init__(self, stats_sink: Optional[StatsSink] = None,
                  traffic_sink: Optional[TrafficSink] = None) -> None:
@@ -170,6 +170,8 @@ class EventBus:
         self.now = 0
         self.active = False
         self._sinks: List[Sink] = [self.stats_sink, self.traffic_sink]
+        #: prebuilt fan-out list so emit() never re-filters per event.
+        self._event_sinks: List[Sink] = []
 
     # --- subscription -------------------------------------------------
 
@@ -184,7 +186,8 @@ class EventBus:
         self._refresh()
 
     def _refresh(self) -> None:
-        self.active = any(s.wants_events for s in self._sinks)
+        self._event_sinks = [s for s in self._sinks if s.wants_events]
+        self.active = bool(self._event_sinks)
 
     @property
     def sinks(self) -> List[Sink]:
@@ -193,9 +196,8 @@ class EventBus:
     # --- emission (only called behind an ``if bus.active`` guard) -----
 
     def emit(self, event: Event) -> None:
-        for sink in self._sinks:
-            if sink.wants_events:
-                sink.on_event(event)
+        for sink in self._event_sinks:
+            sink.on_event(event)
 
     # --- lifecycle ----------------------------------------------------
 

@@ -14,6 +14,14 @@ Commit semantics (paper Section III-B1):
 * ``WRITE`` and ``AMO_STORE`` retire through a finite store buffer: the
   core sees a 1-cycle issue unless the buffer is full, in which case it
   stalls until the oldest entry drains.
+
+Hot-path style (DESIGN.md §9): the transaction handlers run millions of
+times per simulation, so config scalars and the mesh's dense distance
+tables are bound to instance attributes once at construction, ``max()``
+chains over two or three ints are flattened to compares, and the
+directory holder sets are walked without building union sets.  Every
+transformation here is behaviour-preserving by definition of the golden
+corpus (``repro golden``).
 """
 
 from __future__ import annotations
@@ -34,6 +42,25 @@ from repro.noc.message import MsgType
 from repro.sim.config import SystemConfig
 from repro.sim.events import Event, EventBus, EventKind
 
+# Message-class members and their flit sizes, bound as module constants
+# for the inline traffic accounting in the handlers below (the inline
+# form is TrafficMeter.record with count=1; mesh.record remains the
+# gateway whenever event sinks are attached).
+_READ_REQ, _F_READ_REQ = MsgType.READ_REQ, MsgType.READ_REQ.flits
+_ATOMIC_REQ, _F_ATOMIC_REQ = MsgType.ATOMIC_REQ, MsgType.ATOMIC_REQ.flits
+_COMP_DATA, _F_COMP_DATA = MsgType.COMP_DATA, MsgType.COMP_DATA.flits
+_COMP_ACK, _F_COMP_ACK = MsgType.COMP_ACK, MsgType.COMP_ACK.flits
+_AMO_DATA, _F_AMO_DATA = MsgType.AMO_DATA, MsgType.AMO_DATA.flits
+_SNOOP, _F_SNOOP = MsgType.SNOOP, MsgType.SNOOP.flits
+_SNOOP_RESP, _F_SNOOP_RESP = MsgType.SNOOP_RESP, MsgType.SNOOP_RESP.flits
+_SNOOP_DATA, _F_SNOOP_DATA = MsgType.SNOOP_DATA, MsgType.SNOOP_DATA.flits
+_WRITEBACK, _F_WRITEBACK = MsgType.WRITEBACK, MsgType.WRITEBACK.flits
+_EVICT_NOTIFY, _F_EVICT_NOTIFY = (MsgType.EVICT_NOTIFY,
+                                  MsgType.EVICT_NOTIFY.flits)
+_MEM_READ, _F_MEM_READ = MsgType.MEM_READ, MsgType.MEM_READ.flits
+_MEM_DATA, _F_MEM_DATA = MsgType.MEM_DATA, MsgType.MEM_DATA.flits
+_MEM_WRITE, _F_MEM_WRITE = MsgType.MEM_WRITE, MsgType.MEM_WRITE.flits
+
 
 class DeferredRead:
     """A read result to be resolved at the read's *completion* time.
@@ -45,6 +72,10 @@ class DeferredRead:
     herd far beyond what real hardware produces.  The engine resolves the
     value when it wakes the core at completion time, by which point every
     operation that completed earlier has been applied.
+
+    A core has at most one operation in flight, so the machine keeps one
+    pooled instance per core and rebinds ``addr`` on every read — the
+    steady-state read path allocates nothing.
     """
 
     __slots__ = ("addr",)
@@ -102,6 +133,43 @@ class Machine:
         # buffer (single-thread far throughput in Fig. 1 is well below
         # near), and it is how a high far-AMO rate backs up into the core.
         self._amo_free: List[int] = [0] * config.num_cores
+        # One pooled DeferredRead per core (at most one read in flight).
+        self._deferred = [DeferredRead(0) for _ in range(config.num_cores)]
+        # Hot-path aliases: config scalars and mesh distance tables bound
+        # once so the transaction handlers never chase self.config/self.mesh.
+        self._nslices = config.llc_slices
+        self._l1_lat = config.l1_latency
+        self._l2_lat = config.l2_latency
+        self._llc_lat = config.llc_latency
+        self._dir_lat = config.directory_latency
+        self._hn_occ = config.hn_occupancy
+        self._alu_lat = config.amo_alu_latency
+        self._commit_stall = config.commit_stall_overhead
+        self._direct_acks = config.direct_inval_acks
+        self._sb_entries = config.store_buffer_entries
+        self._amo_buf_lat = config.amo_buffer_latency
+        self._c2s_lat = self.mesh.c2s_lat
+        self._s2c_lat = self.mesh.s2c_lat
+        self._c2c_lat = self.mesh.c2c_lat
+        self._c2s_hops = self.mesh.c2s_hops
+        self._s2c_hops = self.mesh.s2c_hops
+        self._c2c_hops = self.mesh.c2c_hops
+        self._record = self.mesh.record
+        # Per-core L1/L2 set arrays (geometry is identical across cores),
+        # the directory's entry dict, and the traffic meter — aliased for
+        # the inlined lookup and accounting fast paths in the handlers.
+        # The inline accounting below is exactly TrafficMeter.record with
+        # count=1; whenever the bus is active (event sinks attached) the
+        # handlers fall back to mesh.record, the single gateway that also
+        # emits MESSAGE events.
+        self._l1sets = [p._l1_sets for p in self.privates]
+        self._l2sets = [p._l2_sets for p in self.privates]
+        self._l1n = self.privates[0]._l1_nsets if self.privates else 1
+        self._l2n = self.privates[0]._l2_nsets if self.privates else 1
+        self._dir_entries = self.directory._entries
+        self._tmeter = self.mesh._traffic
+        self._tmsgs = (self._tmeter.messages
+                       if self._tmeter is not None else None)
 
     # ------------------------------------------------------------------
     # public API
@@ -116,14 +184,14 @@ class Machine:
         """
         self.bus.now = now
         kind = op.type
-        if kind is OpType.THINK:
-            return now + op.cycles, None
         if kind is OpType.READ:
             return self._read(core, op, now)
-        if kind is OpType.WRITE:
-            return self._write(core, op, now)
         if kind is OpType.AMO_LOAD or kind is OpType.AMO_STORE:
             return self._amo(core, op, now)
+        if kind is OpType.WRITE:
+            return self._write(core, op, now)
+        if kind is OpType.THINK:
+            return now + op.cycles, None
         raise ValueError(f"unknown operation type: {kind!r}")
 
     def read_value(self, addr: int) -> int:
@@ -144,7 +212,7 @@ class Machine:
         while sb and sb[0] <= now:
             sb.popleft()
         visible = now + 1
-        if len(sb) >= self.config.store_buffer_entries:
+        if len(sb) >= self._sb_entries:
             oldest = sb.popleft()
             self.stats.store_buffer_stalls += 1
             if self.bus.active:
@@ -152,7 +220,10 @@ class Machine:
                                     info={"stalled_until": oldest}))
             visible = oldest + 1
         # Drains are in-order: a younger store cannot drain earlier.
-        drain = max(drain_time, self._sb_last[core])
+        drain = drain_time
+        last = self._sb_last[core]
+        if last > drain:
+            drain = last
         self._sb_last[core] = drain
         sb.append(drain)
         return visible
@@ -162,41 +233,61 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _read(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
-        self.stats.reads += 1
+        stats = self.stats
+        stats.reads += 1
         block = op.addr >> 6
-        cfg = self.config
-        priv = self.privates[core]
-        line = priv.touch_l1(block)
+        deferred = self._deferred[core]
+        deferred.addr = op.addr
+        # Inlined PrivateCacheHierarchy.touch_l1 (the single hottest
+        # lookup in a simulation): LRU-promote on hit, mark AMO reuse.
+        l1_set = self._l1sets[core][block % self._l1n]
+        line = l1_set.get(block)
         if line is not None:
-            self.stats.l1_hits += 1
-            return now + cfg.l1_latency, DeferredRead(op.addr)
-        self.stats.l1_misses += 1
-        found, level = priv.find(block)
-        if found is not None and level == 2:
-            self.stats.l2_hits += 1
-            result = priv.promote(block)
+            del l1_set[block]
+            l1_set[block] = line
+            if line.fetched_by_amo:
+                line.reused = True
+            stats.l1_hits += 1
+            return now + self._l1_lat, deferred
+        stats.l1_misses += 1
+        if block in self._l2sets[core][block % self._l2n]:
+            stats.l2_hits += 1
+            result = self.privates[core].promote(block)
             self._handle_departures(core, result.departures, now)
-            return now + cfg.l2_latency, DeferredRead(op.addr)
+            return now + self._l2_lat, deferred
         done = self._read_shared(core, block, now)
-        return done, DeferredRead(op.addr)
+        return done, deferred
 
     def _read_shared(self, core: int, block: int, now: int) -> int:
         """Full ReadShared transaction; allocates into the L1D.
 
         Returns the core-visible completion time.
         """
-        cfg = self.config
-        self.stats.read_shared += 1
-        slice_id = block % cfg.llc_slices
+        stats = self.stats
+        record = self._record
+        stats.read_shared += 1
+        slice_id = block % self._nslices
         hn = self.home_nodes[slice_id]
-        entry = self.directory.entry(block)
-        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        arrive = now + self.mesh.core_to_slice(core, slice_id)
-        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
-        self.mesh.record(MsgType.READ_REQ, req_hops,
-                         enqueue=arrive, dequeue=ordered)
-        hn.busy_until = ordered + cfg.hn_occupancy
-        t_dir = ordered + cfg.directory_latency
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = self.directory.entry(block)
+        arrive = now + self._c2s_lat[core][slice_id]
+        ordered = arrive
+        if entry.line_busy_until > ordered:
+            ordered = entry.line_busy_until
+        if hn.busy_until > ordered:
+            ordered = hn.busy_until
+        tm = self._tmeter
+        quiet = tm is not None and not self.bus.active
+        if quiet:
+            self._tmsgs[_READ_REQ] += 1
+            tm.flits += _F_READ_REQ
+            tm.flit_hops += _F_READ_REQ * self._c2s_hops[core][slice_id]
+        else:
+            record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
+                   enqueue=arrive, dequeue=ordered)
+        hn.busy_until = ordered + self._hn_occ
+        t_dir = ordered + self._dir_lat
 
         owner = entry.owner
         data_from_owner = False
@@ -204,22 +295,21 @@ class Machine:
             # Snoop the owner for data; it downgrades.  Data is forwarded
             # directly owner -> requestor (CHI direct cache transfer);
             # the HN only waits for the snoop acknowledgement.
-            data_ready = (t_dir + self.mesh.slice_to_core(slice_id, owner)
-                          + cfg.l1_latency)
+            data_ready = (t_dir + self._s2c_lat[slice_id][owner]
+                          + self._l1_lat)
             data_from_owner = True
             owner_priv = self.privates[owner]
             owner_line, _lvl = owner_priv.find(block)
-            self.stats.snoops += 1
+            stats.snoops += 1
             if owner_line is None:
                 # Directory raced ahead of a silent state we do not model;
                 # treat as LLC-sourced.
                 entry.drop(owner)
-                data_ready = t_dir + cfg.llc_latency
+                data_ready = t_dir + self._llc_lat
                 data_from_owner = False
-                self.mesh.record(MsgType.SNOOP,
-                                    self.mesh.hops_slice_to_core(slice_id, owner))
-                self.mesh.record(MsgType.SNOOP_RESP,
-                                    self.mesh.hops_slice_to_core(slice_id, owner))
+                hops = self._s2c_hops[slice_id][owner]
+                record(MsgType.SNOOP, hops)
+                record(MsgType.SNOOP_RESP, hops)
             elif owner_line.state.is_dirty:
                 self._record_snoop_traffic(slice_id, owner, with_data=True,
                                            block=block)
@@ -233,7 +323,7 @@ class Machine:
                     # LLC set full: owner keeps data responsibility in SD —
                     # the (rare) source of the SharedDirty state.
                     owner_priv.set_state(block, CacheState.SD)
-                self.stats.downgrades += 1
+                stats.downgrades += 1
                 self._emit_downgrade(owner, block)
             else:  # UC owner: forwards clean data, drops to SC.
                 self._record_snoop_traffic(slice_id, owner, with_data=True,
@@ -242,10 +332,10 @@ class Machine:
                 entry.owner = None
                 entry.sharers.add(owner)
                 self._llc_fill(hn, block)
-                self.stats.downgrades += 1
+                stats.downgrades += 1
                 self._emit_downgrade(owner, block)
         elif hn.llc_lookup(block):
-            data_ready = t_dir + cfg.llc_latency
+            data_ready = t_dir + self._llc_lat
         else:
             data_ready = self._dram_read(block, t_dir)
             self._llc_fill(hn, block)
@@ -255,26 +345,34 @@ class Machine:
             # once the snoop acknowledgement returns.
             entry.line_busy_until = t_dir + self._snoop_rtt(
                 slice_id, owner if owner is not None else core)
-            resp_hops = self.mesh.hops(self.mesh.core_tile(owner),
-                                       self.mesh.core_tile(core))
-            self.mesh.record(MsgType.COMP_DATA, resp_hops)
-            done = data_ready + self.mesh.core_to_core(owner, core) \
-                + cfg.l1_latency
+            if quiet:
+                self._tmsgs[_COMP_DATA] += 1
+                tm.flits += _F_COMP_DATA
+                tm.flit_hops += _F_COMP_DATA * self._c2c_hops[owner][core]
+            else:
+                record(MsgType.COMP_DATA, self._c2c_hops[owner][core])
+            done = data_ready + self._c2c_lat[owner][core] + self._l1_lat
         else:
             entry.line_busy_until = data_ready
-            resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
-            self.mesh.record(MsgType.COMP_DATA, resp_hops)
-            done = data_ready + self.mesh.slice_to_core(slice_id, core) \
-                + cfg.l1_latency
+            if quiet:
+                self._tmsgs[_COMP_DATA] += 1
+                tm.flits += _F_COMP_DATA
+                tm.flit_hops += _F_COMP_DATA * self._s2c_hops[slice_id][core]
+            else:
+                record(MsgType.COMP_DATA, self._s2c_hops[slice_id][core])
+            done = data_ready + self._s2c_lat[slice_id][core] + self._l1_lat
 
         # Grant state: Unique when nobody else holds a copy.
-        if entry.holders() - {core}:
+        owner_now = entry.owner
+        sharers = entry.sharers
+        if (owner_now is not None and owner_now != core) or \
+                (sharers and (len(sharers) > 1 or core not in sharers)):
             grant = CacheState.SC
-            entry.sharers.add(core)
+            sharers.add(core)
         else:
             grant = CacheState.UC
             entry.owner = core
-            entry.sharers.discard(core)
+            sharers.discard(core)
             hn.llc_drop(block)
             hn.amo_buffer.invalidate(block)
             if self.bus.active:
@@ -288,33 +386,33 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _write(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
-        self.stats.writes += 1
+        stats = self.stats
+        stats.writes += 1
         block = op.addr >> 6
-        cfg = self.config
         priv = self.privates[core]
         line = priv.touch_l1(block)
         if line is not None:
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             if line.state.is_unique:
                 line.state = CacheState.UD
-                drain = now + cfg.l1_latency
+                drain = now + self._l1_lat
             else:
                 drain = self._upgrade(core, block, now)
                 line = priv.touch_l1(block)
                 if line is not None:
                     line.state = CacheState.UD
         else:
-            self.stats.l1_misses += 1
+            stats.l1_misses += 1
             found, level = priv.find(block)
             if found is not None and level == 2:
-                self.stats.l2_hits += 1
+                stats.l2_hits += 1
                 result = priv.promote(block)
                 self._handle_departures(core, result.departures, now)
                 if found.state.is_unique:
                     priv.set_state(block, CacheState.UD)
-                    drain = now + cfg.l2_latency
+                    drain = now + self._l2_lat
                 else:
-                    drain = self._upgrade(core, block, now + cfg.l2_latency)
+                    drain = self._upgrade(core, block, now + self._l2_lat)
                     priv.set_state(block, CacheState.UD)
             else:
                 drain = self._read_unique(core, block, now,
@@ -327,18 +425,29 @@ class Machine:
     def _upgrade(self, core: int, block: int, now: int) -> int:
         """CleanUnique: gain write permission for a block already held
         shared; invalidates all other copies, transfers no data."""
-        cfg = self.config
         self.stats.upgrades += 1
-        slice_id = block % cfg.llc_slices
+        slice_id = block % self._nslices
         hn = self.home_nodes[slice_id]
-        entry = self.directory.entry(block)
-        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        arrive = now + self.mesh.core_to_slice(core, slice_id)
-        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
-        self.mesh.record(MsgType.READ_REQ, req_hops,
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = self.directory.entry(block)
+        arrive = now + self._c2s_lat[core][slice_id]
+        ordered = arrive
+        if entry.line_busy_until > ordered:
+            ordered = entry.line_busy_until
+        if hn.busy_until > ordered:
+            ordered = hn.busy_until
+        tm = self._tmeter
+        quiet = tm is not None and not self.bus.active
+        if quiet:
+            self._tmsgs[_READ_REQ] += 1
+            tm.flits += _F_READ_REQ
+            tm.flit_hops += _F_READ_REQ * self._c2s_hops[core][slice_id]
+        else:
+            self._record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
                          enqueue=arrive, dequeue=ordered)
-        hn.busy_until = ordered + cfg.hn_occupancy
-        t_dir = ordered + cfg.directory_latency
+        hn.busy_until = ordered + self._hn_occ
+        t_dir = ordered + self._dir_lat
         # CHI-faithful flow: snoop responses return to the HN, which then
         # sends Comp.  With ``direct_inval_acks`` the acks instead travel
         # straight to the requestor and Comp is sent at ordering time.
@@ -353,12 +462,16 @@ class Machine:
         entry.line_busy_until = acks_done
         hn.llc_drop(block)
         hn.amo_buffer.invalidate(block)
-        resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
-        self.mesh.record(MsgType.COMP_ACK, resp_hops)
-        if self.config.direct_inval_acks:
-            comp_at_core = t_dir + self.mesh.slice_to_core(slice_id, core)
-            return max(comp_at_core, acks_done)
-        return acks_done + self.mesh.slice_to_core(slice_id, core)
+        if quiet:
+            self._tmsgs[_COMP_ACK] += 1
+            tm.flits += _F_COMP_ACK
+            tm.flit_hops += _F_COMP_ACK * self._s2c_hops[slice_id][core]
+        else:
+            self._record(MsgType.COMP_ACK, self._s2c_hops[slice_id][core])
+        if self._direct_acks:
+            comp_at_core = t_dir + self._s2c_lat[slice_id][core]
+            return comp_at_core if comp_at_core >= acks_done else acks_done
+        return acks_done + self._s2c_lat[slice_id][core]
 
     def _read_unique(self, core: int, block: int, now: int,
                      fetched_by_amo: bool) -> int:
@@ -366,18 +479,31 @@ class Machine:
 
         Returns the time the block (and permission) is usable at the L1D.
         """
-        cfg = self.config
-        self.stats.read_unique += 1
-        slice_id = block % cfg.llc_slices
+        stats = self.stats
+        record = self._record
+        stats.read_unique += 1
+        slice_id = block % self._nslices
         hn = self.home_nodes[slice_id]
-        entry = self.directory.entry(block)
-        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        arrive = now + self.mesh.core_to_slice(core, slice_id)
-        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
-        self.mesh.record(MsgType.READ_REQ, req_hops,
-                         enqueue=arrive, dequeue=ordered)
-        hn.busy_until = ordered + cfg.hn_occupancy
-        t_dir = ordered + cfg.directory_latency
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = self.directory.entry(block)
+        arrive = now + self._c2s_lat[core][slice_id]
+        ordered = arrive
+        if entry.line_busy_until > ordered:
+            ordered = entry.line_busy_until
+        if hn.busy_until > ordered:
+            ordered = hn.busy_until
+        tm = self._tmeter
+        quiet = tm is not None and not self.bus.active
+        if quiet:
+            self._tmsgs[_READ_REQ] += 1
+            tm.flits += _F_READ_REQ
+            tm.flit_hops += _F_READ_REQ * self._c2s_hops[core][slice_id]
+        else:
+            record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
+                   enqueue=arrive, dequeue=ordered)
+        hn.busy_until = ordered + self._hn_occ
+        t_dir = ordered + self._dir_lat
 
         owner = entry.owner
         had_owner = owner is not None and owner != core
@@ -388,31 +514,40 @@ class Machine:
         acks_done = self._invalidate_holders(slice_id, block, entry,
                                              exclude=core, now=now,
                                              t_dir=t_dir, ack_to=core)
-        if not self.config.direct_inval_acks:
-            acks_done += self.mesh.slice_to_core(slice_id, core)
+        if not self._direct_acks:
+            acks_done += self._s2c_lat[slice_id][core]
         if had_owner:
-            data_at_core = (t_dir + self.mesh.slice_to_core(slice_id, owner)
-                            + cfg.l1_latency
-                            + self.mesh.core_to_core(owner, core))
+            data_at_core = (t_dir + self._s2c_lat[slice_id][owner]
+                            + self._l1_lat
+                            + self._c2c_lat[owner][core])
         elif hn.llc_lookup(block):
-            data_at_core = (t_dir + cfg.llc_latency
-                            + self.mesh.slice_to_core(slice_id, core))
-            self.mesh.record(MsgType.COMP_DATA,
-                                self.mesh.hops_slice_to_core(slice_id, core))
+            data_at_core = (t_dir + self._llc_lat
+                            + self._s2c_lat[slice_id][core])
+            if quiet:
+                self._tmsgs[_COMP_DATA] += 1
+                tm.flits += _F_COMP_DATA
+                tm.flit_hops += _F_COMP_DATA * self._s2c_hops[slice_id][core]
+            else:
+                record(MsgType.COMP_DATA, self._s2c_hops[slice_id][core])
         else:
             data_at_core = (self._dram_read(block, t_dir)
-                            + self.mesh.slice_to_core(slice_id, core))
-            self.mesh.record(MsgType.COMP_DATA,
-                                self.mesh.hops_slice_to_core(slice_id, core))
+                            + self._s2c_lat[slice_id][core])
+            if quiet:
+                self._tmsgs[_COMP_DATA] += 1
+                tm.flits += _F_COMP_DATA
+                tm.flit_hops += _F_COMP_DATA * self._s2c_hops[slice_id][core]
+            else:
+                record(MsgType.COMP_DATA, self._s2c_hops[slice_id][core])
 
         if self.bus.active:
             self._emit_handoff(block, owner, core)
         entry.owner = core
         entry.sharers.clear()
-        entry.line_busy_until = max(acks_done, data_at_core)
+        busy = acks_done if acks_done >= data_at_core else data_at_core
+        entry.line_busy_until = busy
         hn.llc_drop(block)
         hn.amo_buffer.invalidate(block)
-        done = max(data_at_core, acks_done) + cfg.l1_latency
+        done = busy + self._l1_lat
         grant = CacheState.UD if dirty_source else CacheState.UC
         insert = self.privates[core].insert_l1(block, grant, fetched_by_amo)
         self._handle_departures(core, insert.departures, now)
@@ -423,29 +558,35 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _amo(self, core: int, op: MemOp, now: int) -> Tuple[int, Optional[int]]:
-        if op.type is OpType.AMO_LOAD:
-            self.stats.amo_loads += 1
+        stats = self.stats
+        is_load = op.type is OpType.AMO_LOAD
+        if is_load:
+            stats.amo_loads += 1
         else:
-            self.stats.amo_stores += 1
+            stats.amo_stores += 1
         block = op.addr >> 6
-        priv = self.privates[core]
-        state = priv.l1_state(block)
+        # Inlined PrivateCacheHierarchy.l1_state (placement is keyed on
+        # the L1D state, Table I).
+        l1_line = self._l1sets[core][block % self._l1n].get(block)
+        state = l1_line.state if l1_line is not None else CacheState.I
         if state.is_unique:
             placement = Placement.NEAR
             decided = False
-            self.stats.near_amo_unique_hits += 1
+            stats.near_amo_unique_hits += 1
         else:
             policy = self.policies[core]
             placement = policy.decide(block, state, now)
             decided = True
             self.policy_stats[core].record(placement)
         # Per-core atomic ordering: wait for the previous AMO to complete.
-        start = max(now, self._amo_free[core])
+        free = self._amo_free[core]
+        start = now if now >= free else free
         if placement is Placement.NEAR:
             done, value = self._amo_near(core, op, block, state, start)
         else:
             done, value = self._amo_far(core, op, block, start)
-        self._amo_free[core] = max(self._amo_free[core], done)
+        if done > self._amo_free[core]:
+            self._amo_free[core] = done
         bus = self.bus
         if bus.active:
             info = {"op": op.type.name, "amo": op.amo.name,
@@ -458,7 +599,7 @@ class Machine:
                 EventKind.AMO_NEAR if placement is Placement.NEAR
                 else EventKind.AMO_FAR,
                 start, core, block, info=info))
-        if op.type is OpType.AMO_STORE:
+        if not is_load:
             # The core itself only waits for store-buffer admission (plus
             # any backlog from the atomic-ordering chain).
             return self._store_issue(core, now, done), None
@@ -466,71 +607,104 @@ class Machine:
 
     def _apply_amo_value(self, op: MemOp) -> int:
         """Apply the AMO to architectural state; returns the old value."""
-        old = self.values.get(op.addr, 0)
-        self.values[op.addr] = apply_amo(op.amo, old, op.value, op.expected)
+        values = self.values
+        addr = op.addr
+        old = values.get(addr, 0)
+        # ADD dominates every Table III workload (counters, histograms,
+        # reductions); skipping the dispatch table for it is measurable.
+        if op.amo is AmoKind.ADD:
+            values[addr] = old + op.value
+        else:
+            values[addr] = apply_amo(op.amo, old, op.value, op.expected)
         return old
 
     def _amo_near(self, core: int, op: MemOp, block: int,
                   state: CacheState, now: int) -> Tuple[int, Optional[int]]:
         """Execute the AMO in this core's L1D, acquiring the block first."""
-        cfg = self.config
+        stats = self.stats
         priv = self.privates[core]
-        if state.is_unique:
-            self.stats.l1_hits += 1
-            priv.touch_l1(block)
-            priv.set_state(block, CacheState.UD)
-            exec_done = now + cfg.l1_latency + cfg.amo_alu_latency
-        elif state.is_valid:  # SC or SD in L1: upgrade in place
-            self.stats.l1_hits += 1
-            priv.touch_l1(block)
-            done = self._upgrade(core, block, now)
-            priv.set_state(block, CacheState.UD)
-            exec_done = done + cfg.amo_alu_latency
+        if state.is_valid:  # resident in L1: inlined touch_l1 (LRU +
+            # reuse marking), then upgrade in place unless already unique.
+            stats.l1_hits += 1
+            l1_set = self._l1sets[core][block % self._l1n]
+            line = l1_set.get(block)
+            if line is not None:
+                del l1_set[block]
+                l1_set[block] = line
+                if line.fetched_by_amo:
+                    line.reused = True
+            if state.is_unique:
+                priv.set_state(block, CacheState.UD)
+                exec_done = now + self._l1_lat + self._alu_lat
+            else:  # SC or SD in L1
+                done = self._upgrade(core, block, now)
+                priv.set_state(block, CacheState.UD)
+                exec_done = done + self._alu_lat
         else:
-            self.stats.l1_misses += 1
+            stats.l1_misses += 1
             found, level = priv.find(block)
             if found is not None and level == 2:
-                self.stats.l2_hits += 1
+                stats.l2_hits += 1
                 result = priv.promote(block, fetched_by_amo=True)
                 self._handle_departures(core, result.departures, now)
                 if found.state.is_unique:
                     priv.set_state(block, CacheState.UD)
-                    exec_done = now + cfg.l2_latency + cfg.amo_alu_latency
+                    exec_done = now + self._l2_lat + self._alu_lat
                 else:
-                    done = self._upgrade(core, block, now + cfg.l2_latency)
+                    done = self._upgrade(core, block, now + self._l2_lat)
                     priv.set_state(block, CacheState.UD)
-                    exec_done = done + cfg.amo_alu_latency
+                    exec_done = done + self._alu_lat
             else:
                 done = self._read_unique(core, block, now, fetched_by_amo=True)
                 priv.set_state(block, CacheState.UD)
-                exec_done = done + cfg.amo_alu_latency
+                exec_done = done + self._alu_lat
 
         old = self._apply_amo_value(op)
-        self.stats.near_amos += 1
-        self.stats.amo_latency_sum += exec_done - now
+        stats.near_amos += 1
+        stats.amo_latency_sum += exec_done - now
         self.policies[core].on_near_amo(block, now)
         if op.type is OpType.AMO_LOAD:
-            return exec_done + cfg.commit_stall_overhead, old
+            return exec_done + self._commit_stall, old
         return exec_done, None
 
     def _amo_far(self, core: int, op: MemOp, block: int,
                  now: int) -> Tuple[int, Optional[int]]:
         """Execute the AMO at the home node (Fig. 2 right)."""
-        cfg = self.config
-        slice_id = block % cfg.llc_slices
+        stats = self.stats
+        record = self._record
+        slice_id = block % self._nslices
         hn = self.home_nodes[slice_id]
-        entry = self.directory.entry(block)
-        req_hops = self.mesh.hops_core_to_slice(core, slice_id)
-        arrive = now + self.mesh.core_to_slice(core, slice_id)
-        ordered = max(arrive, entry.line_busy_until, hn.busy_until)
-        self.mesh.record(MsgType.ATOMIC_REQ, req_hops,
-                         enqueue=arrive, dequeue=ordered)
-        hn.busy_until = ordered + cfg.hn_occupancy
-        t_dir = ordered + cfg.directory_latency
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = self.directory.entry(block)
+        arrive = now + self._c2s_lat[core][slice_id]
+        ordered = arrive
+        if entry.line_busy_until > ordered:
+            ordered = entry.line_busy_until
+        if hn.busy_until > ordered:
+            ordered = hn.busy_until
+        tm = self._tmeter
+        quiet = tm is not None and not self.bus.active
+        if quiet:
+            self._tmsgs[_ATOMIC_REQ] += 1
+            tm.flits += _F_ATOMIC_REQ
+            tm.flit_hops += _F_ATOMIC_REQ * self._c2s_hops[core][slice_id]
+        else:
+            record(MsgType.ATOMIC_REQ, self._c2s_hops[core][slice_id],
+                   enqueue=arrive, dequeue=ordered)
+        hn.busy_until = ordered + self._hn_occ
+        t_dir = ordered + self._dir_lat
 
-        dirty_holder = any(self._holder_is_dirty(h, block)
-                           for h in entry.holders())
-        prev_owner = entry.owner
+        # Dirty-holder scan without materializing the holder union set.
+        owner = entry.owner
+        dirty_holder = (owner is not None
+                        and self._holder_is_dirty(owner, block))
+        if not dirty_holder:
+            for holder in entry.sharers:
+                if holder != owner and self._holder_is_dirty(holder, block):
+                    dirty_holder = True
+                    break
+        prev_owner = owner
         snoop_done = self._invalidate_holders(slice_id, block, entry,
                                               exclude=None, now=now,
                                               t_dir=t_dir)
@@ -541,32 +715,48 @@ class Machine:
         if dirty_holder:
             data_ready = snoop_done
         elif buffer_hit:
-            self.stats.amo_buffer_hits += 1
-            data_ready = max(t_dir + cfg.amo_buffer_latency, snoop_done)
+            stats.amo_buffer_hits += 1
+            data_ready = t_dir + self._amo_buf_lat
+            if snoop_done > data_ready:
+                data_ready = snoop_done
         elif hn.llc_lookup(block):
-            data_ready = max(t_dir + cfg.llc_latency, snoop_done)
+            data_ready = t_dir + self._llc_lat
+            if snoop_done > data_ready:
+                data_ready = snoop_done
         else:
-            data_ready = max(self._dram_read(block, t_dir), snoop_done)
+            data_ready = self._dram_read(block, t_dir)
+            if snoop_done > data_ready:
+                data_ready = snoop_done
 
-        exec_done = data_ready + cfg.amo_alu_latency
+        exec_done = data_ready + self._alu_lat
         entry.line_busy_until = exec_done
         hn.far_amos_executed += 1
         # After a far AMO no private cache holds the block; the HN does.
         self._llc_fill(hn, block)
 
         old = self._apply_amo_value(op)
-        self.stats.far_amos += 1
-        resp_hops = self.mesh.hops_slice_to_core(slice_id, core)
+        stats.far_amos += 1
+        resp_hops = self._s2c_hops[slice_id][core]
         if op.type is OpType.AMO_LOAD:
-            self.stats.far_amo_loads += 1
-            self.mesh.record(MsgType.AMO_DATA, resp_hops)
-            done = exec_done + self.mesh.slice_to_core(slice_id, core)
-            self.stats.amo_latency_sum += done - now
-            return done + cfg.commit_stall_overhead, old
-        self.stats.far_amo_stores += 1
-        self.mesh.record(MsgType.COMP_ACK, resp_hops)
-        ack = snoop_done + self.mesh.slice_to_core(slice_id, core)
-        self.stats.amo_latency_sum += ack - now
+            stats.far_amo_loads += 1
+            if quiet:
+                self._tmsgs[_AMO_DATA] += 1
+                tm.flits += _F_AMO_DATA
+                tm.flit_hops += _F_AMO_DATA * resp_hops
+            else:
+                record(MsgType.AMO_DATA, resp_hops)
+            done = exec_done + self._s2c_lat[slice_id][core]
+            stats.amo_latency_sum += done - now
+            return done + self._commit_stall, old
+        stats.far_amo_stores += 1
+        if quiet:
+            self._tmsgs[_COMP_ACK] += 1
+            tm.flits += _F_COMP_ACK
+            tm.flit_hops += _F_COMP_ACK * resp_hops
+        else:
+            record(MsgType.COMP_ACK, resp_hops)
+        ack = snoop_done + self._s2c_lat[slice_id][core]
+        stats.amo_latency_sum += ack - now
         return ack, None
 
     # ------------------------------------------------------------------
@@ -575,22 +765,40 @@ class Machine:
 
     def _snoop_rtt(self, slice_id: int, target: int) -> int:
         """Round-trip cost of snooping ``target`` from ``slice_id``."""
-        one_way = self.mesh.slice_to_core(slice_id, target)
-        return 2 * one_way + self.config.l1_latency
+        return 2 * self._s2c_lat[slice_id][target] + self._l1_lat
 
     def _record_snoop_traffic(self, slice_id: int, target: int,
                               with_data: bool, block: int = -1) -> None:
-        hops = self.mesh.hops_slice_to_core(slice_id, target)
-        self.mesh.record(MsgType.SNOOP, hops)
-        self.mesh.record(
-            MsgType.SNOOP_DATA if with_data else MsgType.SNOOP_RESP, hops)
+        hops = self._s2c_hops[slice_id][target]
+        tm = self._tmeter
         bus = self.bus
+        if tm is not None and not bus.active:
+            # Batched snoop + response accounting (flit sums commute, so
+            # combining the two messages is bit-identical).
+            msgs = self._tmsgs
+            msgs[_SNOOP] += 1
+            if with_data:
+                msgs[_SNOOP_DATA] += 1
+                flits = _F_SNOOP + _F_SNOOP_DATA
+            else:
+                msgs[_SNOOP_RESP] += 1
+                flits = _F_SNOOP + _F_SNOOP_RESP
+            tm.flits += flits
+            tm.flit_hops += flits * hops
+            return
+        record = self._record
+        record(MsgType.SNOOP, hops)
+        record(MsgType.SNOOP_DATA if with_data else MsgType.SNOOP_RESP, hops)
         if bus.active:
             bus.emit(Event(EventKind.SNOOP, bus.now, target, block,
                            info={"slice": slice_id, "with_data": with_data}))
 
     def _holder_is_dirty(self, core: int, block: int) -> bool:
-        line, _lvl = self.privates[core].find(block)
+        # Inlined PrivateCacheHierarchy.find (L1 then L2) — called in a
+        # loop over holders on the far-AMO and ReadUnique paths.
+        line = self._l1sets[core][block % self._l1n].get(block)
+        if line is None:
+            line = self._l2sets[core][block % self._l2n].get(block)
         return line is not None and line.state.is_dirty
 
     def _invalidate_holders(self, slice_id: int, block: int, entry,
@@ -608,8 +816,23 @@ class Machine:
         centralizing the same invalidations at the HN.  Either way the
         returned time is ``t_dir`` when there was nothing to snoop.
         """
+        owner = entry.owner
+        sharers = entry.sharers
+        # Same iteration order as sorted(entry.holders()) without the
+        # set-union/copy on the no-holder and owner-only fast paths.
+        if not sharers:
+            if owner is None:
+                return t_dir
+            holders = (owner,)
+        elif owner is None:
+            holders = sorted(sharers)
+        else:
+            holders = sorted(sharers | {owner})
         snoop_done = t_dir
-        for holder in sorted(entry.holders()):
+        s2c = self._s2c_lat[slice_id]
+        l1_lat = self._l1_lat
+        direct = self._direct_acks
+        for holder in holders:
             if holder == exclude:
                 continue
             line, was_in_l1 = self.privates[holder].invalidate(block)
@@ -628,12 +851,12 @@ class Machine:
                     EventKind.INVALIDATION, self.bus.now, holder, block,
                     info={"state": line.state.name, "requestor": ack_to,
                           "was_in_l1": was_in_l1}))
-            to_holder = self.mesh.slice_to_core(slice_id, holder)
-            if ack_to is None or not self.config.direct_inval_acks:
+            to_holder = s2c[holder]
+            if ack_to is None or not direct:
                 back = to_holder
             else:
-                back = self.mesh.core_to_core(holder, ack_to)
-            rtt = t_dir + to_holder + self.config.l1_latency + back
+                back = self._c2c_lat[holder][ack_to]
+            rtt = t_dir + to_holder + l1_lat + back
             if rtt > snoop_done:
                 snoop_done = rtt
             policy = self.policies[holder]
@@ -663,18 +886,32 @@ class Machine:
     def _hierarchy_departure(self, core: int, line, now: int) -> None:
         """A block left the private hierarchy: update HN + traffic."""
         block = line.block
-        entry = self.directory.entry(block)
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = self.directory.entry(block)
         entry.drop(core)
-        slice_id = block % self.config.llc_slices
+        slice_id = block % self._nslices
         hn = self.home_nodes[slice_id]
-        hops = self.mesh.hops_core_to_slice(core, slice_id)
+        hops = self._c2s_hops[core][slice_id]
+        tm = self._tmeter
+        quiet = tm is not None and not self.bus.active
         if line.state is CacheState.SC:
             # LLC already has a copy from the shared grant; just tell the
             # directory.
-            self.mesh.record(MsgType.EVICT_NOTIFY, hops)
+            if quiet:
+                self._tmsgs[_EVICT_NOTIFY] += 1
+                tm.flits += _F_EVICT_NOTIFY
+                tm.flit_hops += _F_EVICT_NOTIFY * hops
+            else:
+                self._record(MsgType.EVICT_NOTIFY, hops)
             return
         # UC/UD/SD carry data back; the exclusive LLC allocates it.
-        self.mesh.record(MsgType.WRITEBACK, hops)
+        if quiet:
+            self._tmsgs[_WRITEBACK] += 1
+            tm.flits += _F_WRITEBACK
+            tm.flit_hops += _F_WRITEBACK * hops
+        else:
+            self._record(MsgType.WRITEBACK, hops)
         self._llc_fill(hn, block)
 
     def _llc_fill(self, hn: HomeNode, block: int) -> None:
@@ -684,7 +921,13 @@ class Machine:
             chan = self.addr_map.channel_of_block(victim.block)
             self.memory.access(chan, 0)
             self.stats.dram_writes += 1
-            self.mesh.record(MsgType.MEM_WRITE, 1)
+            tm = self._tmeter
+            if tm is not None and not self.bus.active:
+                self._tmsgs[_MEM_WRITE] += 1
+                tm.flits += _F_MEM_WRITE
+                tm.flit_hops += _F_MEM_WRITE
+            else:
+                self._record(MsgType.MEM_WRITE, 1)
             if self.bus.active:
                 self.bus.emit(Event(EventKind.DRAM_WRITE, self.bus.now,
                                     block=victim.block,
@@ -694,11 +937,20 @@ class Machine:
         chan = self.addr_map.channel_of_block(block)
         done = self.memory.access(chan, issue_time)
         self.stats.dram_reads += 1
-        self.mesh.record(MsgType.MEM_READ, 1)
-        self.mesh.record(MsgType.MEM_DATA, 1)
-        if self.bus.active:
-            self.bus.emit(Event(EventKind.DRAM_READ, issue_time, block=block,
-                                info={"channel": chan}))
+        tm = self._tmeter
+        if tm is not None and not self.bus.active:
+            msgs = self._tmsgs
+            msgs[_MEM_READ] += 1
+            msgs[_MEM_DATA] += 1
+            flits = _F_MEM_READ + _F_MEM_DATA
+            tm.flits += flits
+            tm.flit_hops += flits
+        else:
+            self._record(MsgType.MEM_READ, 1)
+            self._record(MsgType.MEM_DATA, 1)
+            if self.bus.active:
+                self.bus.emit(Event(EventKind.DRAM_READ, issue_time,
+                                    block=block, info={"channel": chan}))
         return done
 
     # --- event emission helpers (only called when the bus is active) --

@@ -40,8 +40,14 @@ def test_decidable_states_exclude_unique():
 
 
 def test_chi_names():
-    assert CacheState.UC.value == "UniqueClean"
-    assert CacheState.UD.value == "UniqueDirty"
-    assert CacheState.SC.value == "SharedClean"
-    assert CacheState.SD.value == "SharedDirty"
-    assert CacheState.I.value == "Invalid"
+    assert CacheState.UC.chi_name == "UniqueClean"
+    assert CacheState.UD.chi_name == "UniqueDirty"
+    assert CacheState.SC.chi_name == "SharedClean"
+    assert CacheState.SD.chi_name == "SharedDirty"
+    assert CacheState.I.chi_name == "Invalid"
+
+
+def test_int_coding_is_stable():
+    """Trace/json stability: short names and integer codes are pinned."""
+    assert [s.value for s in CacheState] == [0, 1, 2, 3, 4]
+    assert [s.name for s in CacheState] == ["UC", "UD", "SC", "SD", "I"]
