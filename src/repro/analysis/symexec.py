@@ -303,7 +303,8 @@ def collect(workload: Workload,
             seq[core] += 1
             kind = op.type
 
-            if kind is OpType.THINK:
+            if kind is OpType.THINK or kind is OpType.MARK:
+                # MARK: timing-neutral sync annotation; touches nothing.
                 result[core] = None
                 continue
             addr = op.addr

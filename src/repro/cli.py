@@ -12,10 +12,18 @@ Commands:
 * ``repro table {1,2,3,4}`` — print a paper table.
 * ``repro cost [--entries N] [--ways W] [--counter-bits B]`` — AMT
   hardware cost (paper Section VI-G).
-* ``repro profile --workload W [--policy P] ...`` — run one cell with
-  the observability sinks attached and render a diagnostics report
-  (latency percentiles, interval time-series, top-contended lines);
-  ``--save``/``--load`` persist/replay the profiled result as JSON.
+* ``repro profile --workload W [--policy P] [--format json] ...`` —
+  run one cell with the observability sinks attached and render a
+  diagnostics report (latency percentiles, interval time-series,
+  top-contended lines); ``--save``/``--load`` persist/replay the
+  profiled result as JSON, ``--format json`` prints it instead.
+* ``repro why WORKLOAD POLICY [--format json] ...`` — cycle-blame
+  report: critical-path category breakdown (lock handoffs, barrier
+  waits, NoC/home-node/DRAM legs), hottest cache lines, AMT decision
+  audit.
+* ``repro diff WORKLOAD POLICY_A POLICY_B [--format json] ...`` —
+  side-by-side cycle blame for two policies on one workload: per
+  category delta attribution plus the top diverging locks and lines.
 * ``repro perfetto TRACE.jsonl OUT.json`` — convert a ``--trace`` run
   to Chrome trace-event format (Perfetto / ``chrome://tracing``).
 * ``repro bench [--check]`` — run the pinned micro-grid and append a
@@ -96,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="FILE", default=None,
                      help="write a per-event JSONL trace to FILE "
                           "(runs uncached)")
+    run.add_argument("--stamps", action="store_true",
+                     help="with --trace: include stamp events (per-op "
+                          "latency breakdowns, sync markers)")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("which", type=_figure_name, choices=sorted(FIGURES),
@@ -137,6 +148,39 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--load", metavar="FILE", default=None,
                       help="render a previously --save'd profile "
                            "instead of simulating")
+    prof.add_argument("--format", dest="fmt", choices=("text", "json"),
+                      default="text",
+                      help="json prints the serialized profiled result "
+                           "(the --save payload) instead of the report")
+
+    def _attrib_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--threads", type=int, default=None)
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--input", dest="input_name", default=None)
+        p.add_argument("--paper-system", action="store_true",
+                       help="use the full Table II system (32 cores)")
+        p.add_argument("--top", type=int, default=8,
+                       help="rows per table (locks, lines)")
+        p.add_argument("--format", dest="fmt", choices=("text", "json"),
+                       default="text")
+
+    why = sub.add_parser(
+        "why", help="cycle-blame report: critical path, per-category "
+                    "latency decomposition, AMT decision audit")
+    why.add_argument("workload", type=_workload_code,
+                     help="Table III code or name (e.g. HIST or histogram)")
+    why.add_argument("policy", choices=sorted(POLICIES))
+    _attrib_options(why)
+
+    diff = sub.add_parser(
+        "diff", help="side-by-side cycle blame for two policies on one "
+                     "workload (delta attribution, diverging locks/lines)")
+    diff.add_argument("workload", type=_workload_code,
+                      help="Table III code or name")
+    diff.add_argument("policy_a", choices=sorted(POLICIES))
+    diff.add_argument("policy_b", choices=sorted(POLICIES))
+    _attrib_options(diff)
 
     perf = sub.add_parser(
         "perfetto", help="convert a --trace JSONL file to Chrome "
@@ -220,7 +264,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = runner.make_spec(args.workload, args.policy,
                                 threads=args.threads, scale=args.scale,
                                 input_name=args.input_name, seed=args.seed)
-        sink = TraceSink(args.trace)
+        sink = TraceSink(args.trace, stamps=args.stamps)
         result = execute_spec(spec, extra_sinks=(sink,))
         print(result.summary())
         print(f"  trace: {sink.events_written} events -> {args.trace} "
@@ -272,10 +316,53 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                      input_name=args.input_name, config=config)
     interval = args.interval if args.interval else DEFAULT_INTERVAL
     result = profile_spec(spec, interval=interval)
-    print(render_profile(result, top=args.top))
+    if args.fmt == "json":
+        from repro.harness.executor import serialize_result
+
+        print(json.dumps(serialize_result(result), sort_keys=True))
+    else:
+        print(render_profile(result, top=args.top))
     if args.save:
         save_profile(result, args.save)
-        print(f"\nprofile saved -> {args.save}")
+        if args.fmt != "json":
+            print(f"\nprofile saved -> {args.save}")
+    return 0
+
+
+def _attrib_spec(args: argparse.Namespace, policy: str):
+    from repro.harness.executor import make_spec
+
+    config = PAPER_CONFIG if args.paper_system else DEFAULT_CONFIG
+    return make_spec(args.workload, policy, threads=args.threads,
+                     scale=args.scale, seed=args.seed,
+                     input_name=args.input_name, config=config)
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    from repro.obs.attribution.report import (render_why, why_payload,
+                                              why_spec)
+
+    spec = _attrib_spec(args, args.policy)
+    result = why_spec(spec)
+    if args.fmt == "json":
+        print(json.dumps(why_payload(result, spec), sort_keys=True))
+    else:
+        print(render_why(result, spec, top=args.top))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.attribution.report import (diff_payload, diff_specs,
+                                              render_diff)
+
+    spec_a = _attrib_spec(args, args.policy_a)
+    spec_b = _attrib_spec(args, args.policy_b)
+    result_a, result_b = diff_specs(spec_a, spec_b)
+    payload = diff_payload(result_a, spec_a, result_b, spec_b)
+    if args.fmt == "json":
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_diff(payload, top=args.top))
     return 0
 
 
@@ -380,6 +467,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cost(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "why":
+        return _cmd_why(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "perfetto":
         return _cmd_perfetto(args)
     if args.command == "bench":

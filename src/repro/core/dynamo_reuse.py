@@ -98,6 +98,14 @@ class DynamoReusePolicy(AmoPolicy):
             return Placement.NEAR
         return self._fallback(state)
 
+    def audit_info(self, block: int):
+        """(hit, confidence) the next ``decide`` will observe (via the
+        side-effect-free ``AmoMetadataTable.peek``; no LRU promotion)."""
+        entry = self.amt.peek(block)
+        if entry is None:
+            return (False, None)
+        return (True, entry.confidence)
+
     def decide(self, block: int, state: CacheState, now: int) -> Placement:
         entry = self.amt.lookup(block)
         if entry is None:

@@ -51,6 +51,20 @@ class AmoPolicy(ABC):
         short-circuits UC/UD to near.
         """
 
+    # --- observability (read-only; no-ops for static policies) ---
+
+    def audit_info(self, block: int):
+        """Side-effect-free pre-decide snapshot for attribution sinks.
+
+        Policies with a metadata table return ``(hit, confidence)`` —
+        whether the upcoming :meth:`decide` will find ``block`` in the
+        table and the entry's current confidence.  Static policies
+        return None.  Must not mutate any predictor state (no LRU
+        promotion, no stat counting): it is only called on the stamped
+        execution path and timing/behaviour must not depend on it.
+        """
+        return None
+
     # --- learning hooks (no-ops for static policies) ---
 
     def on_near_amo(self, block: int, now: int) -> None:

@@ -61,6 +61,12 @@ class OpType(enum.IntEnum):
     AMO_LOAD = 2
     AMO_STORE = 3
     THINK = 4
+    #: Timing-neutral annotation: zero cycles, zero instructions, no
+    #: machine state touched.  Sync primitives emit these around their
+    #: wait loops so attribution sinks can see lock/barrier phases; with
+    #: no stamp-wanting sink subscribed a MARK is architecturally
+    #: invisible (the golden corpus proves it).
+    MARK = 5
 
 
 @dataclass(slots=True)
@@ -96,6 +102,25 @@ class MemOp:
         return self.addr >> BLOCK_SHIFT
 
 
+# --- sync phase markers (MARK op payloads) ---------------------------
+#
+# The marker code travels in ``MemOp.value``; ``MemOp.addr`` carries the
+# sync object's address so attribution can group waits per lock/barrier.
+
+MARK_LOCK_BEGIN: Final[int] = 0      #: a thread starts trying to acquire
+MARK_LOCK_ACQUIRED: Final[int] = 1   #: the acquiring atomic succeeded
+MARK_LOCK_RELEASE: Final[int] = 2    #: the releasing store/swap issued
+MARK_BARRIER_BEGIN: Final[int] = 3   #: a thread arrives at a barrier
+MARK_BARRIER_RELEASE: Final[int] = 4 #: the last arriver flipped the sense
+MARK_BARRIER_END: Final[int] = 5     #: a thread leaves the barrier
+
+#: Stable trace names for marker codes (index = code).
+MARK_NAMES: Final[tuple[str, ...]] = (
+    "lock-begin", "lock-acquired", "lock-release",
+    "barrier-begin", "barrier-release", "barrier-end",
+)
+
+
 # Interning caches for the factories that dominate generated programs.
 # MemOps are immutable by convention (nothing in the simulator or the
 # analyses writes an op field after construction), so identical ops can
@@ -106,6 +131,7 @@ _READ_CACHE: dict = {}
 _THINK_CACHE: dict = {}
 _LDADD_CACHE: dict = {}
 _STADD_CACHE: dict = {}
+_MARK_CACHE: dict = {}
 
 
 def read(addr: int) -> MemOp:
@@ -134,6 +160,21 @@ def think(cycles: int, instructions: Optional[int] = None) -> MemOp:
                 OpType.THINK, cycles=cycles, instructions=max(1, cycles))
         return op
     return MemOp(OpType.THINK, cycles=cycles, instructions=instructions)
+
+
+def mark(code: int, addr: int) -> MemOp:
+    """Timing-neutral sync marker (``cycles=0``, ``instructions=0``).
+
+    ``code`` is one of the ``MARK_*`` constants; ``addr`` is the sync
+    object's address.  Interned: sync loops re-emit the same few markers
+    on every round trip.
+    """
+    key = (code, addr)
+    op = _MARK_CACHE.get(key)
+    if op is None:
+        op = _MARK_CACHE[key] = MemOp(OpType.MARK, addr, value=code,
+                                      instructions=0)
+    return op
 
 
 def ldadd(addr: int, value: int) -> MemOp:

@@ -368,6 +368,56 @@ def energy_study(runner: Optional[Runner] = None,
         notes="ratios < 1.0 are energy savings")
 
 
+#: Workloads of the cycle-blame attribution study: the Table III cells
+#: where All Near and DynAMO-Reuse-PN genuinely diverge at the
+#: golden-corpus grid shape (t8, half scale).
+BLAME_WORKLOADS = ("HIST", "SPMV", "RSOR", "GME")
+
+
+def blame_study(runner: Optional[Runner] = None,
+                workloads: Sequence[str] = BLAME_WORKLOADS) -> FigureData:
+    """Cycle-blame attribution: where does DynAMO's speed-up come from?
+
+    For each workload, runs All Near vs DynAMO-Reuse-PN with the
+    attribution sinks attached (always fresh — instrumented runs never
+    touch the cache) and reports the ``repro diff`` delta attribution:
+    the speed-up, the fraction of the cycle delta attributed to *named*
+    blame categories (the acceptance bar is >= 90%), and the category
+    explaining most of the delta.  The ``runner`` argument only supplies
+    the system config; results are not cached.
+    """
+    runner = runner or Runner()
+    from repro.harness.executor import make_spec
+    from repro.obs.attribution.report import diff_payload, diff_specs
+
+    xs, speedup, attributed = [], [], []
+    top_cats = []
+    # The golden-corpus grid shape (t8, half scale) keeps the uncached
+    # instrumented runs CI-sized.
+    for wl in workloads:
+        spec_a = make_spec(wl, BASELINE, threads=8, scale=0.5,
+                           config=runner.config)
+        spec_b = make_spec(wl, "dynamo-reuse-pn", threads=8, scale=0.5,
+                           config=runner.config)
+        res_a, res_b = diff_specs(spec_a, spec_b)
+        payload = diff_payload(res_a, spec_a, res_b, spec_b)
+        xs.append(wl)
+        speedup.append(res_a.cycles / res_b.cycles)
+        attributed.append(payload["attributed_fraction"])
+        delta_blame: Dict[str, int] = payload["delta_blame"]
+        if delta_blame:
+            top = max(delta_blame, key=lambda c: abs(delta_blame[c]))
+            top_cats.append(f"{wl}:{top}({delta_blame[top]:+})")
+    return FigureData(
+        name="Cycle-blame study: All Near vs DynAMO-Reuse-PN",
+        xlabel="workload", xs=xs,
+        series={"speedup": speedup,
+                "delta-attributed-fraction": attributed},
+        notes="attributed fraction = share of the cycle delta landing in "
+              "named blame categories (target >= 0.9); top contributors: "
+              + "; ".join(top_cats))
+
+
 FIGURES = {
     "1": figure1,
     "6": figure6,
@@ -377,4 +427,5 @@ FIGURES = {
     "10": figure10,
     "11": figure11,
     "energy": energy_study,
+    "blame": blame_study,
 }

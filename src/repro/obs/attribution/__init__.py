@@ -1,0 +1,33 @@
+"""Cycle-blame attribution: where did every simulated cycle go?
+
+Three cooperating pieces, all fed by the stamp-gated event layer
+(``bus.stamps``; see :mod:`repro.sim.events`):
+
+* :mod:`~repro.obs.attribution.collect` — the :class:`BlameSink` /
+  :class:`AuditSink` stamp consumers that aggregate per-op latency
+  breakdowns, sync markers, line handoffs and AMT decision outcomes;
+* :mod:`~repro.obs.attribution.critical` — the cross-core critical-path
+  extractor (wait-for DAG over lock handoffs and barrier releases);
+* :mod:`~repro.obs.attribution.report` — ``repro why`` / ``repro diff``
+  payload builders, terminal renderers and JSON serialization.
+
+:mod:`~repro.obs.attribution.schema` is a dependency-free JSON-schema
+subset validator used by tests and the CI smoke job to pin the payload
+shapes.
+"""
+
+from repro.obs.attribution.categories import (CATEGORY_LABELS,
+                                              CATEGORY_ORDER,
+                                              PATH_CATEGORY_LABELS)
+from repro.obs.attribution.collect import AuditSink, BlameSink
+from repro.obs.attribution.critical import extract_critical_path
+from repro.obs.attribution.report import (diff_payload, diff_specs,
+                                          render_diff, render_why,
+                                          why_payload, why_spec)
+
+__all__ = [
+    "CATEGORY_LABELS", "CATEGORY_ORDER", "PATH_CATEGORY_LABELS",
+    "AuditSink", "BlameSink", "extract_critical_path",
+    "diff_payload", "diff_specs", "render_diff", "render_why",
+    "why_payload", "why_spec",
+]

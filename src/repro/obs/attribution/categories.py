@@ -1,0 +1,78 @@
+"""Canonical cycle-blame categories.
+
+Every OP_RETIRE breakdown dict (``bd`` / ``exec_bd`` / ``drain_bd``)
+uses keys from :data:`CATEGORY_ORDER`; the critical-path extractor adds
+the path-level :data:`PATH_CATEGORIES`.  Render order is semantic: local
+hits first, then the NoC/home-node request chain, then data sources,
+then core-side gating.  ``other`` is the residual bucket — cycles the
+instrumentation could not name — and is last by construction; keeping
+it near zero is a test invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Final, Tuple
+
+#: Per-op breakdown categories, in render order.
+CATEGORY_ORDER: Final[Tuple[str, ...]] = (
+    "l1", "l2",
+    "noc_req", "hn_line", "hn_busy", "dir",
+    "snoop", "inval",
+    "llc", "dram", "amo_buf",
+    "alu", "noc_resp", "commit",
+    "amo_order", "sb_stall", "issue",
+    "other",
+)
+
+#: Human labels for the terminal reports.
+CATEGORY_LABELS: Final[Dict[str, str]] = {
+    "l1": "L1 hit",
+    "l2": "L2 hit",
+    "noc_req": "NoC request hops",
+    "hn_line": "home-node line serialization",
+    "hn_busy": "home-node occupancy",
+    "dir": "directory lookup",
+    "snoop": "snoop (data from owner)",
+    "inval": "invalidation acks",
+    "llc": "LLC data",
+    "dram": "DRAM",
+    "amo_buf": "AMO-buffer hit",
+    "alu": "AMO ALU",
+    "noc_resp": "NoC response hops",
+    "commit": "AMO commit stall",
+    "amo_order": "per-core AMO ordering",
+    "sb_stall": "store-buffer stall",
+    "issue": "store issue",
+    "other": "other (residual)",
+}
+
+#: Path-level categories the critical-path walk adds on top of the
+#: per-op breakdown: plain computation (THINK + uninstrumented gaps),
+#: lock handoff latency (release -> acquire), barrier release waits.
+PATH_CATEGORIES: Final[Tuple[str, ...]] = (
+    "compute", "lock_wait", "barrier_wait",
+)
+
+PATH_CATEGORY_LABELS: Final[Dict[str, str]] = {
+    "compute": "compute (non-memory)",
+    "lock_wait": "lock handoff wait",
+    "barrier_wait": "barrier release wait",
+}
+
+#: Full render order for critical-path blame tables.
+PATH_ORDER: Final[Tuple[str, ...]] = (
+    ("compute",) + CATEGORY_ORDER[:-1]
+    + ("lock_wait", "barrier_wait", "other"))
+
+
+def merge_into(total: Dict[str, int], bd: Dict[str, int]) -> None:
+    """Accumulate one breakdown dict into a running total."""
+    for cat, cycles in bd.items():
+        total[cat] = total.get(cat, 0) + cycles
+
+
+def label_for(cat: str) -> str:
+    """Human label for any per-op or path-level category."""
+    return (CATEGORY_LABELS.get(cat)
+            or PATH_CATEGORY_LABELS.get(cat)
+            or cat)

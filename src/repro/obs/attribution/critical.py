@@ -1,0 +1,202 @@
+"""Cross-core critical-path extraction over the sync wait-for DAG.
+
+The walk starts at the last-retiring core's finish time and moves
+backwards.  On each step it finds the most recent *contended* sync wait
+on the current core (a lock acquire enabled by another agent's release,
+or a barrier departure enabled by the last arriver's sense flip), blames
+everything the core did after that wait using the per-op breakdowns,
+blames the handoff gap itself as ``lock_wait`` / ``barrier_wait``, and
+jumps to the enabling core at its release cycle.  Uncontended waits
+(the lock was already free, or the core itself released the barrier)
+are transparent: their ops are ordinary work on the path.
+
+Because each walked window ``(ws, t]`` is fully partitioned into op
+gate cycles + residual ``compute``, the per-category blame sums to the
+run's total cycle count (``coverage`` ~= 1.0), which is what lets
+``repro diff`` attribute a cycle *delta* category by category.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.attribution.categories import merge_into
+
+#: Hard cap on walk steps — a cycle in the DAG would be a model bug,
+#: and the extractor must terminate regardless.
+MAX_HOPS = 100_000
+
+#: Segments kept verbatim in the payload (the rest is summarized).
+MAX_SEGMENTS = 64
+
+_OpList = List[Tuple[int, int, Dict[str, int]]]
+_SyncList = List[Tuple[int, str, int]]
+
+
+class _Wait:
+    """One sync wait interval on one core."""
+
+    __slots__ = ("begin", "end", "kind", "addr")
+
+    def __init__(self, begin: int, end: int, kind: str, addr: int) -> None:
+        self.begin = begin
+        self.end = end  # lock: acquired cycle; barrier: departure cycle
+        self.kind = kind  # "lock" | "barrier"
+        self.addr = addr
+
+
+def _build_waits(sync: _SyncList) -> List[_Wait]:
+    """Pair begin/acquired (locks) and begin/end (barriers) markers."""
+    waits: List[_Wait] = []
+    pending: Dict[Tuple[str, int], int] = {}
+    for cycle, what, addr in sync:
+        if what == "lock-begin":
+            pending[("lock", addr)] = cycle
+        elif what == "lock-acquired":
+            begin = pending.pop(("lock", addr), None)
+            if begin is not None:
+                waits.append(_Wait(begin, cycle, "lock", addr))
+        elif what == "barrier-begin":
+            pending[("barrier", addr)] = cycle
+        elif what == "barrier-end":
+            begin = pending.pop(("barrier", addr), None)
+            if begin is not None:
+                waits.append(_Wait(begin, cycle, "barrier", addr))
+    waits.sort(key=lambda w: w.end)
+    return waits
+
+
+def _build_releases(
+        core_sync: Dict[int, _SyncList]) -> Dict[Tuple[str, int],
+                                                 List[Tuple[int, int]]]:
+    """Global ``(kind, addr) -> sorted [(cycle, core)]`` release lists."""
+    releases: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+    for core, sync in core_sync.items():
+        for cycle, what, addr in sync:
+            if what == "lock-release":
+                releases.setdefault(("lock", addr), []).append((cycle, core))
+            elif what == "barrier-release":
+                releases.setdefault(("barrier", addr), []).append(
+                    (cycle, core))
+    for rel in releases.values():
+        rel.sort()
+    return releases
+
+
+def _enabling_release(releases: List[Tuple[int, int]], wait: _Wait,
+                      core: int) -> Optional[Tuple[int, int]]:
+    """The release that let ``core`` clear ``wait``, if it was contended.
+
+    That is the latest release at or before the wait's end; the wait is
+    contended only when that release happened *during* the wait and came
+    from another core — otherwise the resource was free all along (or
+    the core enabled itself) and the wait is transparent.
+    """
+    i = bisect_right(releases, (wait.end, float("inf"))) - 1
+    if i < 0:
+        return None
+    cycle, rel_core = releases[i]
+    if cycle < wait.begin or rel_core == core:
+        return None
+    return cycle, rel_core
+
+
+def _blame_window(ops: _OpList, starts: List[int], ws: int, t: int,
+                  blame: Dict[str, int]) -> None:
+    """Partition window ``(ws, t]`` on one core into op blame + compute.
+
+    ``ws == 0`` means "back to the beginning of time" and includes ops
+    issued at cycle 0 (the window is effectively ``[0, t]``).
+    """
+    lo = bisect_right(starts, ws) if ws > 0 else 0
+    hi = bisect_right(starts, t)
+    busy = 0
+    for start, lat, bd in ops[lo:hi]:
+        merge_into(blame, bd)
+        busy += lat
+    gap = (t - ws) - busy
+    if gap > 0:
+        blame["compute"] = blame.get("compute", 0) + gap
+
+
+def extract_critical_path(
+        core_ops: Dict[int, _OpList],
+        core_sync: Dict[int, _SyncList],
+        per_core_finish: List[int]) -> Dict[str, object]:
+    """Walk the wait-for DAG back from the last-retiring core.
+
+    Returns the JSON-ready critical-path payload: per-category blame
+    over the whole path, the hop segments, per-lock / per-barrier wait
+    cycles on the path, and the achieved coverage (blamed cycles over
+    total cycles; ~1.0 unless the walk hit a guard).
+    """
+    if not per_core_finish:
+        return {"end_core": -1, "cycles": 0, "coverage": 0.0,
+                "blame": {}, "segments": [], "locks": {}, "barriers": {}}
+    end_core = max(range(len(per_core_finish)),
+                   key=lambda c: per_core_finish[c])
+    total = per_core_finish[end_core]
+    waits = {core: _build_waits(sync) for core, sync in core_sync.items()}
+    wait_ends = {core: [w.end for w in ws] for core, ws in waits.items()}
+    releases = _build_releases(core_sync)
+    starts = {core: [start for start, _lat, _bd in ops]
+              for core, ops in core_ops.items()}
+
+    blame: Dict[str, int] = {}
+    segments: List[Dict[str, object]] = []
+    locks: Dict[int, int] = {}
+    barriers: Dict[int, int] = {}
+    core, t = end_core, total
+    hops = 0
+    while t > 0 and hops < MAX_HOPS:
+        hops += 1
+        # Latest *contended* wait on this core ending at or before t.
+        cws = waits.get(core, [])
+        i = bisect_right(wait_ends.get(core, []), t) - 1
+        jump: Optional[Tuple[int, int]] = None
+        wait: Optional[_Wait] = None
+        while i >= 0:
+            candidate = cws[i]
+            rel = _enabling_release(
+                releases.get((candidate.kind, candidate.addr), []),
+                candidate, core)
+            if rel is not None and rel[0] < t:
+                wait, jump = candidate, rel
+                break
+            i -= 1
+        ws = wait.end if wait is not None else 0
+        _blame_window(core_ops.get(core, []), starts.get(core, []),
+                      ws, t, blame)
+        if len(segments) < MAX_SEGMENTS:
+            segments.append({"core": core, "start": ws, "end": t,
+                             "kind": "run"})
+        if wait is None or jump is None:
+            break
+        rel_cycle, rel_core = jump
+        gap = wait.end - rel_cycle
+        key = "lock_wait" if wait.kind == "lock" else "barrier_wait"
+        blame[key] = blame.get(key, 0) + gap
+        target = locks if wait.kind == "lock" else barriers
+        target[wait.addr] = target.get(wait.addr, 0) + gap
+        if len(segments) < MAX_SEGMENTS:
+            segments.append({"core": core, "start": rel_cycle,
+                             "end": wait.end, "kind": wait.kind,
+                             "addr": f"{wait.addr:#x}",
+                             "from_core": rel_core})
+        core, t = rel_core, rel_cycle
+    covered = sum(blame.values())
+    return {
+        "end_core": end_core,
+        "cycles": total,
+        "hops": hops,
+        "coverage": round(covered / total, 4) if total else 0.0,
+        "blame": dict(sorted(blame.items())),
+        "segments": segments,
+        "locks": {f"{addr:#x}": cycles
+                  for addr, cycles in sorted(locks.items(),
+                                             key=lambda kv: -kv[1])},
+        "barriers": {f"{addr:#x}": cycles
+                     for addr, cycles in sorted(barriers.items(),
+                                                key=lambda kv: -kv[1])},
+    }

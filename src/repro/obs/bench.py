@@ -98,7 +98,13 @@ def run_bench(jobs: int = 1) -> Dict:
         "schema": BENCH_SCHEMA,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "jobs": jobs,
+        # Environment metadata: wall times from different interpreters or
+        # machines are not comparable; these fields are additive (older
+        # records without them stay valid under the same schema).
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
         "grid_sha256": grid_fingerprint(),
         "wall_s": round(wall_s, 4),
         "simulated_cycles": sum(c["cycles"] for c in cells),

@@ -6,11 +6,18 @@ a trace into the Chrome trace-event JSON that Perfetto and
 ``chrome://tracing`` load natively, with one track per core plus
 dedicated home-node and mesh tracks:
 
-* AMO executions and store-buffer stalls become duration ("X") events on
-  the issuing core's track, so contention shows up as visibly long
-  slices;
+* AMO executions (and, in stamped traces, every retired memory op)
+  become duration ("X") events on the issuing core's track, so
+  contention shows up as visibly long slices;
 * snoops, invalidations, downgrades and L1 evictions become instant
   events on the affected core's track;
+* store-buffer stalls get their own per-core *stall* track
+  (``PID_STALLS``) so back-pressure reads as a dedicated swim-lane
+  rather than blending into the op stream;
+* ``sync`` markers from stamped traces (``repro run --trace --stamps``)
+  get a per-core *sync* track (``PID_SYNC``): lock-begin/lock-acquired
+  pairs become "lock wait" slices, barrier-begin/barrier-end pairs
+  become "barrier wait" slices, releases are instants;
 * LLC/DRAM accesses and home-node-owned line handoffs land on the
   home-node track;
 * NoC messages land on the mesh track — queued requests (those carrying
@@ -31,6 +38,15 @@ from typing import IO, Dict, Iterable, List, Union
 PID_CORES = 1
 PID_HOME_NODES = 2
 PID_MESH = 3
+PID_STALLS = 4
+PID_SYNC = 5
+
+#: sync-marker pairing: begin marker -> (end marker, slice name).
+_SYNC_PAIRS = {
+    "lock-begin": ("lock-acquired", "lock wait"),
+    "barrier-begin": ("barrier-end", "barrier wait"),
+}
+_SYNC_ENDS = {end: begin for begin, (end, _name) in _SYNC_PAIRS.items()}
 
 #: Event kinds rendered as duration slices on the core track.
 _CORE_DURATION_KINDS = {"amo-near", "amo-far"}
@@ -74,7 +90,11 @@ def convert_events(records: Iterable[Dict]) -> Dict:
     events: List[Dict] = []
     cores_seen = set()
     home_seen = set()
+    stall_seen = set()
+    sync_seen = set()
     mesh_seen = False
+    #: open sync waits: (core, addr, begin-marker) -> begin cycle.
+    sync_pending: Dict[tuple, int] = {}
     for i, record in enumerate(records):
         try:
             kind = record["kind"]
@@ -94,14 +114,44 @@ def convert_events(records: Iterable[Dict]) -> Dict:
                 "args": {"block": block, **_args(record)},
             })
         elif kind == "store-buffer-stall":
+            stall_seen.add(core)
+            events.append({
+                "ph": "X", "pid": PID_STALLS, "tid": core,
+                "ts": cycle,
+                "dur": max(record.get("stalled_until", cycle) - cycle, 1),
+                "name": kind, "cat": "stall",
+                "args": _args(record),
+            })
+        elif kind == "op-retire":
             cores_seen.add(core)
             events.append({
                 "ph": "X", "pid": PID_CORES, "tid": core,
-                "ts": cycle,
-                "dur": max(record.get("stalled_until", cycle) - cycle, 1),
-                "name": kind, "cat": "core",
-                "args": _args(record),
+                "ts": cycle, "dur": max(record.get("lat", 0), 1),
+                "name": record.get("op", "op"), "cat": "op",
+                "args": {"block": block, **_args(record)},
             })
+        elif kind == "sync":
+            what = record.get("what", "")
+            addr = record.get("addr", block)
+            sync_seen.add(core)
+            if what in _SYNC_PAIRS:
+                sync_pending[(core, addr, what)] = cycle
+            elif what in _SYNC_ENDS:
+                begin_marker = _SYNC_ENDS[what]
+                begin = sync_pending.pop((core, addr, begin_marker), None)
+                if begin is not None:
+                    events.append({
+                        "ph": "X", "pid": PID_SYNC, "tid": core,
+                        "ts": begin, "dur": max(cycle - begin, 1),
+                        "name": _SYNC_PAIRS[begin_marker][1], "cat": "sync",
+                        "args": {"addr": addr},
+                    })
+            else:  # releases (and future markers) stay visible as instants
+                events.append({
+                    "ph": "i", "s": "t", "pid": PID_SYNC, "tid": core,
+                    "ts": cycle, "name": what, "cat": "sync",
+                    "args": {"addr": addr},
+                })
         elif kind in _CORE_INSTANT_KINDS:
             cores_seen.add(core)
             events.append({
@@ -169,6 +219,14 @@ def convert_events(records: Iterable[Dict]) -> Dict:
         for tid in sorted(home_seen):
             meta.append(_thread_meta(PID_HOME_NODES, tid,
                                      f"slice/channel {tid}"))
+    if stall_seen:
+        meta.append(_process_meta(PID_STALLS, "store-buffer stalls"))
+        for core in sorted(stall_seen):
+            meta.append(_thread_meta(PID_STALLS, core, f"core {core}"))
+    if sync_seen:
+        meta.append(_process_meta(PID_SYNC, "sync waits"))
+        for core in sorted(sync_seen):
+            meta.append(_thread_meta(PID_SYNC, core, f"core {core}"))
     if mesh_seen:
         meta.append(_process_meta(PID_MESH, "mesh"))
         meta.append(_thread_meta(PID_MESH, 0, "NoC"))

@@ -76,6 +76,13 @@ def run(machine: Machine, programs: Iterable[Program],
     amo_h = machine._amo
     write_h = machine._write
     bus = machine.bus
+    if bus.stamps:
+        # Attribution sinks subscribed: bind the stamped wrappers, which
+        # run the same handlers (identical timing) but additionally
+        # collect per-op cycle breakdowns and emit OP_RETIRE events.
+        read_h = machine._read_stamped
+        amo_h = machine._amo_stamped
+        write_h = machine._write_stamped
     # sys.maxsize keeps the timeout compare a plain int compare when no
     # budget is set (a simulation cannot reach 2**63 cycles).
     limit = max_cycles if max_cycles is not None else sys.maxsize

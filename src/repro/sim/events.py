@@ -62,6 +62,12 @@ class EventKind(enum.Enum):
     L1_EVICTION = "l1-eviction"
     #: a store-class op stalled on a full store buffer.
     STORE_BUFFER_STALL = "store-buffer-stall"
+    #: a memory op retired with a per-category cycle breakdown
+    #: (stamp-gated: only emitted when ``bus.stamps`` is True).
+    OP_RETIRE = "op-retire"
+    #: a sync phase marker (lock/barrier begin/acquired/release; also
+    #: stamp-gated — see :data:`repro.frontend.isa.MARK_NAMES`).
+    SYNC = "sync"
 
 
 class Event:
@@ -106,6 +112,14 @@ class Sink:
 
     #: True when this sink must receive every Event via :meth:`on_event`.
     wants_events = True
+    #: True when this sink additionally needs the *stamp* events
+    #: (OP_RETIRE breakdowns, SYNC markers, per-AMO audit fields).
+    #: Stamps put the machine on an instrumented execution path that is
+    #: timing-identical but slower in wall-clock, so they are gated
+    #: separately from ``wants_events``: a trace/digest sink can consume
+    #: ordinary events without forcing stamp emission.  A sink that sets
+    #: this is treated as wanting events too.
+    wants_stamps = False
 
     def bind_machine(self, machine) -> None:
         """Run-start hook: the engine announces the machine under test.
@@ -157,7 +171,7 @@ class EventBus:
     have no clock of their own) can stamp their events.
     """
 
-    __slots__ = ("stats", "traffic", "now", "active", "_sinks",
+    __slots__ = ("stats", "traffic", "now", "active", "stamps", "_sinks",
                  "_event_sinks", "stats_sink", "traffic_sink")
 
     def __init__(self, stats_sink: Optional[StatsSink] = None,
@@ -169,6 +183,9 @@ class EventBus:
         self.traffic = self.traffic_sink.meter
         self.now = 0
         self.active = False
+        #: True iff a subscribed sink wants stamp events; the machine and
+        #: engine select the instrumented (timing-identical) paths on it.
+        self.stamps = False
         self._sinks: List[Sink] = [self.stats_sink, self.traffic_sink]
         #: prebuilt fan-out list so emit() never re-filters per event.
         self._event_sinks: List[Sink] = []
@@ -186,8 +203,10 @@ class EventBus:
         self._refresh()
 
     def _refresh(self) -> None:
-        self._event_sinks = [s for s in self._sinks if s.wants_events]
+        self._event_sinks = [s for s in self._sinks
+                             if s.wants_events or s.wants_stamps]
         self.active = bool(self._event_sinks)
+        self.stamps = any(s.wants_stamps for s in self._sinks)
 
     @property
     def sinks(self) -> List[Sink]:
@@ -223,9 +242,16 @@ class TraceSink(Sink):
     object (borrowed; not closed).  Counts near/far AMO events so traces
     can be reconciled against ``SimulationResult`` decision counters
     without re-parsing the file.
+
+    ``stamps=True`` additionally requests the stamp events (OP_RETIRE
+    breakdowns, SYNC markers, per-AMO audit fields), putting the machine
+    on its instrumented execution path; plain traces never do.
     """
 
-    def __init__(self, destination: Union[str, IO[str]]) -> None:
+    def __init__(self, destination: Union[str, IO[str]],
+                 stamps: bool = False) -> None:
+        if stamps:
+            self.wants_stamps = True  # instance override of the class gate
         if isinstance(destination, str):
             self._fh: IO[str] = open(destination, "w")
             self._owns = True

@@ -34,7 +34,8 @@ from repro.coherence.l1 import Departure, PrivateCacheHierarchy
 from repro.coherence.states import CacheState
 from repro.core.policy import Placement, PolicyStats
 from repro.core.registry import make_policy
-from repro.frontend.isa import (AmoKind, MemOp, OpType, apply_amo)
+from repro.frontend.isa import (MARK_NAMES, AmoKind, MemOp, OpType,
+                                apply_amo)
 from repro.mem.address import AddressMap
 from repro.mem.hbm import HbmMemory
 from repro.noc.mesh import Mesh
@@ -170,6 +171,12 @@ class Machine:
         self._tmeter = self.mesh._traffic
         self._tmsgs = (self._tmeter.messages
                        if self._tmeter is not None else None)
+        # Per-op cycle-breakdown scratch (attribution stamps).  None on
+        # the default path; the stamped wrappers install a fresh dict per
+        # op and the transaction helpers add the components they already
+        # compute.  The helpers' ``if bd is not None`` guards sit off the
+        # L1-hit fast paths, so default-mode cost is zero.
+        self._bd: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -184,6 +191,8 @@ class Machine:
         """
         self.bus.now = now
         kind = op.type
+        if self.bus.stamps:
+            return self._execute_stamped(core, op, now, kind)
         if kind is OpType.READ:
             return self._read(core, op, now)
         if kind is OpType.AMO_LOAD or kind is OpType.AMO_STORE:
@@ -192,7 +201,123 @@ class Machine:
             return self._write(core, op, now)
         if kind is OpType.THINK:
             return now + op.cycles, None
+        if kind is OpType.MARK:
+            # Sync phase marker: zero cycles, zero instructions, no
+            # machine state — architecturally invisible without stamps.
+            return now, None
         raise ValueError(f"unknown operation type: {kind!r}")
+
+    def _execute_stamped(self, core: int, op: MemOp, now: int,
+                         kind: OpType) -> Tuple[int, Optional[int]]:
+        """Stamped dispatch: same timing, plus OP_RETIRE/SYNC events."""
+        if kind is OpType.READ:
+            return self._read_stamped(core, op, now)
+        if kind is OpType.AMO_LOAD or kind is OpType.AMO_STORE:
+            return self._amo_stamped(core, op, now)
+        if kind is OpType.WRITE:
+            return self._write_stamped(core, op, now)
+        if kind is OpType.THINK:
+            return now + op.cycles, None
+        if kind is OpType.MARK:
+            self.bus.emit(Event(EventKind.SYNC, now, core, op.addr >> 6,
+                                info={"what": MARK_NAMES[op.value],
+                                      "addr": op.addr}))
+            return now, None
+        raise ValueError(f"unknown operation type: {kind!r}")
+
+    # ------------------------------------------------------------------
+    # stamped execution (attribution): timing-identical wrappers that
+    # collect the per-category cycle breakdown the transaction helpers
+    # record into ``self._bd`` and emit one OP_RETIRE event per op.
+    # The ``bd`` dict decomposes the *core-gating* latency (what the
+    # issuing core waited); store-class ops additionally carry the
+    # breakdown of their hidden drain/execution chain so home-node and
+    # NoC work stays attributable even when the store buffer absorbs it.
+    # ------------------------------------------------------------------
+
+    def _read_stamped(self, core: int, op: MemOp,
+                      now: int) -> Tuple[int, Optional[int]]:
+        bd = self._bd = {}
+        done, result = self._read(core, op, now)
+        self._bd = None
+        lat = done - now
+        if not bd:
+            # L1/L2 hit fast paths record nothing; classify by latency.
+            bd["l1" if lat == self._l1_lat else "l2"] = lat
+        else:
+            resid = lat - sum(bd.values())
+            if resid:
+                bd["other"] = resid
+        self.bus.emit(Event(EventKind.OP_RETIRE, now, core, op.addr >> 6,
+                            info={"op": "READ", "lat": lat, "bd": bd}))
+        return done, result
+
+    def _write_stamped(self, core: int, op: MemOp,
+                       now: int) -> Tuple[int, Optional[int]]:
+        bd = self._bd = {}
+        done, result = self._write(core, op, now)
+        self._bd = None
+        lat = done - now
+        gate: Dict[str, int] = {"issue": 1}
+        stall = bd.pop("sb_stall", 0)
+        if stall:
+            gate["sb_stall"] = stall
+        resid = lat - 1 - stall
+        if resid:
+            gate["other"] = resid
+        info: Dict[str, object] = {"op": "WRITE", "lat": lat, "bd": gate}
+        if bd:
+            info["drain_bd"] = bd
+        self.bus.emit(Event(EventKind.OP_RETIRE, now, core, op.addr >> 6,
+                            info=info))
+        return done, result
+
+    def _amo_stamped(self, core: int, op: MemOp,
+                     now: int) -> Tuple[int, Optional[int]]:
+        bd = self._bd = {}
+        done, result = self._amo(core, op, now)
+        self._bd = None
+        lat = done - now
+        info: Dict[str, object] = {"op": op.type.name, "amo": op.amo.name,
+                                   "lat": lat}
+        if op.type is OpType.AMO_LOAD:
+            resid = lat - sum(bd.values())
+            if resid:
+                bd["other"] = resid
+            info["bd"] = bd
+        else:
+            # The core only waited for store-buffer admission; the AMO's
+            # execution chain is hidden work (paper Section III-B1).
+            gate: Dict[str, int] = {"issue": 1}
+            stall = bd.pop("sb_stall", 0)
+            if stall:
+                gate["sb_stall"] = stall
+            resid = lat - 1 - stall
+            if resid:
+                gate["other"] = resid
+            info["bd"] = gate
+            info["exec_bd"] = bd
+        self.bus.emit(Event(EventKind.OP_RETIRE, now, core, op.addr >> 6,
+                            info=info))
+        return done, result
+
+    def _bd_request(self, bd: Dict[str, int], now: int, arrive: int,
+                    ordered: int, line_busy: int) -> None:
+        """Record the request leg shared by every home-node transaction:
+        NoC traversal, then per-line serialization (the paper's central
+        quantity), then structural home-node occupancy, then directory."""
+        bd["noc_req"] = bd.get("noc_req", 0) + (arrive - now)
+        wait = ordered - arrive
+        lw = line_busy - arrive
+        if lw < 0:
+            lw = 0
+        elif lw > wait:
+            lw = wait
+        if lw:
+            bd["hn_line"] = bd.get("hn_line", 0) + lw
+        if wait > lw:
+            bd["hn_busy"] = bd.get("hn_busy", 0) + (wait - lw)
+        bd["dir"] = bd.get("dir", 0) + self._dir_lat
 
     def read_value(self, addr: int) -> int:
         """Architectural value currently stored at ``addr``."""
@@ -219,6 +344,9 @@ class Machine:
                 self.bus.emit(Event(EventKind.STORE_BUFFER_STALL, now, core,
                                     info={"stalled_until": oldest}))
             visible = oldest + 1
+            bd = self._bd
+            if bd is not None:
+                bd["sb_stall"] = bd.get("sb_stall", 0) + (oldest - now)
         # Drains are in-order: a younger store cannot drain earlier.
         drain = drain_time
         last = self._sb_last[core]
@@ -286,6 +414,9 @@ class Machine:
         else:
             record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
                    enqueue=arrive, dequeue=ordered)
+        bd = self._bd
+        if bd is not None:
+            self._bd_request(bd, now, arrive, ordered, entry.line_busy_until)
         hn.busy_until = ordered + self._hn_occ
         t_dir = ordered + self._dir_lat
 
@@ -340,6 +471,17 @@ class Machine:
             data_ready = self._dram_read(block, t_dir)
             self._llc_fill(hn, block)
 
+        if bd is not None:
+            if data_from_owner:
+                bd["snoop"] = bd.get("snoop", 0) + (data_ready - t_dir)
+            elif owner is not None and owner != core:
+                # Raced owner: sourced from the LLC after a void snoop.
+                bd["llc"] = bd.get("llc", 0) + self._llc_lat
+            elif data_ready - t_dir == self._llc_lat:
+                bd["llc"] = bd.get("llc", 0) + self._llc_lat
+            else:
+                bd["dram"] = bd.get("dram", 0) + (data_ready - t_dir)
+
         if data_from_owner:
             # DCT: final leg is owner -> requestor; the HN frees the line
             # once the snoop acknowledgement returns.
@@ -352,6 +494,10 @@ class Machine:
             else:
                 record(MsgType.COMP_DATA, self._c2c_hops[owner][core])
             done = data_ready + self._c2c_lat[owner][core] + self._l1_lat
+            if bd is not None:
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._c2c_lat[owner][core])
+                bd["l1"] = bd.get("l1", 0) + self._l1_lat
         else:
             entry.line_busy_until = data_ready
             if quiet:
@@ -361,6 +507,10 @@ class Machine:
             else:
                 record(MsgType.COMP_DATA, self._s2c_hops[slice_id][core])
             done = data_ready + self._s2c_lat[slice_id][core] + self._l1_lat
+            if bd is not None:
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._s2c_lat[slice_id][core])
+                bd["l1"] = bd.get("l1", 0) + self._l1_lat
 
         # Grant state: Unique when nobody else holds a copy.
         owner_now = entry.owner
@@ -446,6 +596,9 @@ class Machine:
         else:
             self._record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
                          enqueue=arrive, dequeue=ordered)
+        bd = self._bd
+        if bd is not None:
+            self._bd_request(bd, now, arrive, ordered, entry.line_busy_until)
         hn.busy_until = ordered + self._hn_occ
         t_dir = ordered + self._dir_lat
         # CHI-faithful flow: snoop responses return to the HN, which then
@@ -470,7 +623,17 @@ class Machine:
             self._record(MsgType.COMP_ACK, self._s2c_hops[slice_id][core])
         if self._direct_acks:
             comp_at_core = t_dir + self._s2c_lat[slice_id][core]
+            if bd is not None:
+                if comp_at_core >= acks_done:
+                    bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                      + self._s2c_lat[slice_id][core])
+                else:
+                    bd["inval"] = bd.get("inval", 0) + (acks_done - t_dir)
             return comp_at_core if comp_at_core >= acks_done else acks_done
+        if bd is not None:
+            bd["inval"] = bd.get("inval", 0) + (acks_done - t_dir)
+            bd["noc_resp"] = (bd.get("noc_resp", 0)
+                              + self._s2c_lat[slice_id][core])
         return acks_done + self._s2c_lat[slice_id][core]
 
     def _read_unique(self, core: int, block: int, now: int,
@@ -502,6 +665,9 @@ class Machine:
         else:
             record(MsgType.READ_REQ, self._c2s_hops[core][slice_id],
                    enqueue=arrive, dequeue=ordered)
+        bd = self._bd
+        if bd is not None:
+            self._bd_request(bd, now, arrive, ordered, entry.line_busy_until)
         hn.busy_until = ordered + self._hn_occ
         t_dir = ordered + self._dir_lat
 
@@ -520,9 +686,19 @@ class Machine:
             data_at_core = (t_dir + self._s2c_lat[slice_id][owner]
                             + self._l1_lat
                             + self._c2c_lat[owner][core])
+            if bd is not None:
+                bd["snoop"] = (bd.get("snoop", 0)
+                               + self._s2c_lat[slice_id][owner]
+                               + self._l1_lat)
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._c2c_lat[owner][core])
         elif hn.llc_lookup(block):
             data_at_core = (t_dir + self._llc_lat
                             + self._s2c_lat[slice_id][core])
+            if bd is not None:
+                bd["llc"] = bd.get("llc", 0) + self._llc_lat
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._s2c_lat[slice_id][core])
             if quiet:
                 self._tmsgs[_COMP_DATA] += 1
                 tm.flits += _F_COMP_DATA
@@ -530,8 +706,12 @@ class Machine:
             else:
                 record(MsgType.COMP_DATA, self._s2c_hops[slice_id][core])
         else:
-            data_at_core = (self._dram_read(block, t_dir)
-                            + self._s2c_lat[slice_id][core])
+            dram_done = self._dram_read(block, t_dir)
+            data_at_core = dram_done + self._s2c_lat[slice_id][core]
+            if bd is not None:
+                bd["dram"] = bd.get("dram", 0) + (dram_done - t_dir)
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._s2c_lat[slice_id][core])
             if quiet:
                 self._tmsgs[_COMP_DATA] += 1
                 tm.flits += _F_COMP_DATA
@@ -548,6 +728,11 @@ class Machine:
         hn.llc_drop(block)
         hn.amo_buffer.invalidate(block)
         done = busy + self._l1_lat
+        if bd is not None:
+            if acks_done > data_at_core:
+                bd["inval"] = (bd.get("inval", 0)
+                               + (acks_done - data_at_core))
+            bd["l1"] = bd.get("l1", 0) + self._l1_lat
         grant = CacheState.UD if dirty_source else CacheState.UC
         insert = self.privates[core].insert_l1(block, grant, fetched_by_amo)
         self._handle_departures(core, insert.departures, now)
@@ -569,18 +754,26 @@ class Machine:
         # the L1D state, Table I).
         l1_line = self._l1sets[core][block % self._l1n].get(block)
         state = l1_line.state if l1_line is not None else CacheState.I
+        audit = None
         if state.is_unique:
             placement = Placement.NEAR
             decided = False
             stats.near_amo_unique_hits += 1
         else:
             policy = self.policies[core]
+            if self.bus.stamps:
+                # Side-effect-free pre-decide snapshot (decide allocates
+                # AMT entries on miss, so peek must come first).
+                audit = policy.audit_info(block)
             placement = policy.decide(block, state, now)
             decided = True
             self.policy_stats[core].record(placement)
         # Per-core atomic ordering: wait for the previous AMO to complete.
         free = self._amo_free[core]
         start = now if now >= free else free
+        bd = self._bd
+        if bd is not None and start > now:
+            bd["amo_order"] = start - now
         if placement is Placement.NEAR:
             done, value = self._amo_near(core, op, block, state, start)
         else:
@@ -591,6 +784,10 @@ class Machine:
         if bus.active:
             info = {"op": op.type.name, "amo": op.amo.name,
                     "decided": decided, "latency": done - start}
+            if bus.stamps and decided:
+                # Attribution audit: the policy's pre-decide view.  None
+                # for policies without an AMT (static policies).
+                info["amt"] = audit
             if op.amo is AmoKind.CAS:
                 # Lock-acquire observability: a CAS succeeded iff the old
                 # value it returned equals the comparand.
@@ -636,6 +833,9 @@ class Machine:
             if state.is_unique:
                 priv.set_state(block, CacheState.UD)
                 exec_done = now + self._l1_lat + self._alu_lat
+                bd = self._bd
+                if bd is not None:
+                    bd["l1"] = bd.get("l1", 0) + self._l1_lat
             else:  # SC or SD in L1
                 done = self._upgrade(core, block, now)
                 priv.set_state(block, CacheState.UD)
@@ -647,6 +847,9 @@ class Machine:
                 stats.l2_hits += 1
                 result = priv.promote(block, fetched_by_amo=True)
                 self._handle_departures(core, result.departures, now)
+                bd = self._bd
+                if bd is not None:
+                    bd["l2"] = bd.get("l2", 0) + self._l2_lat
                 if found.state.is_unique:
                     priv.set_state(block, CacheState.UD)
                     exec_done = now + self._l2_lat + self._alu_lat
@@ -663,7 +866,12 @@ class Machine:
         stats.near_amos += 1
         stats.amo_latency_sum += exec_done - now
         self.policies[core].on_near_amo(block, now)
+        bd = self._bd
+        if bd is not None:
+            bd["alu"] = bd.get("alu", 0) + self._alu_lat
         if op.type is OpType.AMO_LOAD:
+            if bd is not None:
+                bd["commit"] = bd.get("commit", 0) + self._commit_stall
             return exec_done + self._commit_stall, old
         return exec_done, None
 
@@ -692,6 +900,9 @@ class Machine:
         else:
             record(MsgType.ATOMIC_REQ, self._c2s_hops[core][slice_id],
                    enqueue=arrive, dequeue=ordered)
+        bd = self._bd
+        if bd is not None:
+            self._bd_request(bd, now, arrive, ordered, entry.line_busy_until)
         hn.busy_until = ordered + self._hn_occ
         t_dir = ordered + self._dir_lat
 
@@ -714,21 +925,40 @@ class Machine:
         buffer_hit = hn.amo_buffer.access(block)
         if dirty_holder:
             data_ready = snoop_done
+            if bd is not None:
+                bd["snoop"] = bd.get("snoop", 0) + (snoop_done - t_dir)
         elif buffer_hit:
             stats.amo_buffer_hits += 1
             data_ready = t_dir + self._amo_buf_lat
+            if bd is not None:
+                bd["amo_buf"] = bd.get("amo_buf", 0) + self._amo_buf_lat
             if snoop_done > data_ready:
+                if bd is not None:
+                    bd["snoop"] = (bd.get("snoop", 0)
+                                   + (snoop_done - data_ready))
                 data_ready = snoop_done
         elif hn.llc_lookup(block):
             data_ready = t_dir + self._llc_lat
+            if bd is not None:
+                bd["llc"] = bd.get("llc", 0) + self._llc_lat
             if snoop_done > data_ready:
+                if bd is not None:
+                    bd["snoop"] = (bd.get("snoop", 0)
+                                   + (snoop_done - data_ready))
                 data_ready = snoop_done
         else:
             data_ready = self._dram_read(block, t_dir)
+            if bd is not None:
+                bd["dram"] = bd.get("dram", 0) + (data_ready - t_dir)
             if snoop_done > data_ready:
+                if bd is not None:
+                    bd["snoop"] = (bd.get("snoop", 0)
+                                   + (snoop_done - data_ready))
                 data_ready = snoop_done
 
         exec_done = data_ready + self._alu_lat
+        if bd is not None:
+            bd["alu"] = bd.get("alu", 0) + self._alu_lat
         entry.line_busy_until = exec_done
         hn.far_amos_executed += 1
         # After a far AMO no private cache holds the block; the HN does.
@@ -747,6 +977,10 @@ class Machine:
                 record(MsgType.AMO_DATA, resp_hops)
             done = exec_done + self._s2c_lat[slice_id][core]
             stats.amo_latency_sum += done - now
+            if bd is not None:
+                bd["noc_resp"] = (bd.get("noc_resp", 0)
+                                  + self._s2c_lat[slice_id][core])
+                bd["commit"] = bd.get("commit", 0) + self._commit_stall
             return done + self._commit_stall, old
         stats.far_amo_stores += 1
         if quiet:
@@ -757,6 +991,9 @@ class Machine:
             record(MsgType.COMP_ACK, resp_hops)
         ack = snoop_done + self._s2c_lat[slice_id][core]
         stats.amo_latency_sum += ack - now
+        if bd is not None:
+            bd["noc_resp"] = (bd.get("noc_resp", 0)
+                              + self._s2c_lat[slice_id][core])
         return ack, None
 
     # ------------------------------------------------------------------

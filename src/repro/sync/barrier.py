@@ -34,15 +34,19 @@ class SenseBarrier:
         """Wait at the barrier (generator; yield from it)."""
         new_sense = 1 - self._local_sense[tid]
         self._local_sense[tid] = new_sense
+        yield isa.mark(isa.MARK_BARRIER_BEGIN, self.count_addr)
         arrival = yield isa.ldadd(self.count_addr, 1)
         if arrival == self.nthreads - 1:
             yield isa.write(self.count_addr, 0)
             yield isa.write(self.sense_addr, new_sense)
+            yield isa.mark(isa.MARK_BARRIER_RELEASE, self.count_addr)
+            yield isa.mark(isa.MARK_BARRIER_END, self.count_addr)
             return
         backoff = 16
         while True:
             value = yield isa.read(self.sense_addr)
             if value == new_sense:
+                yield isa.mark(isa.MARK_BARRIER_END, self.count_addr)
                 return
             yield isa.think(backoff)
             if backoff < max_backoff:

@@ -51,6 +51,7 @@ class PthreadMutex:
         leaves the block SharedClean at the moment of the CAS.  ``rng``
         adds backoff jitter (see :func:`spin_until_zero`).
         """
+        yield isa.mark(isa.MARK_LOCK_BEGIN, self.lock_addr)
         yield isa.read(self.kind_addr)
         if test_first:
             yield from spin_until_zero(self.lock_addr, max_backoff,
@@ -63,6 +64,7 @@ class PthreadMutex:
             # adaptive spin, so waits are long and cheap in instructions.
             yield from spin_until_zero(self.lock_addr, max_backoff,
                                        initial_backoff=512, rng=rng)
+        yield isa.mark(isa.MARK_LOCK_ACQUIRED, self.lock_addr)
         yield isa.write(self.owner_addr, tid + 1)
         yield isa.write(self.nusers_addr, 1)
 
@@ -72,6 +74,7 @@ class PthreadMutex:
         yield isa.write(self.nusers_addr, 0)
         yield isa.write(self.owner_addr, 0)
         yield isa.swap(self.lock_addr, 0)
+        yield isa.mark(isa.MARK_LOCK_RELEASE, self.lock_addr)
 
 
 def spin_until_zero(addr: int, max_backoff: int = 256,

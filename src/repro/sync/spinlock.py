@@ -37,12 +37,14 @@ class SpinLock:
         uncontended fast path compilers emit); failures fall back to the
         read-spin loop either way.  ``rng`` adds backoff jitter.
         """
+        yield isa.mark(isa.MARK_LOCK_BEGIN, self.addr)
         if self.test_first:
             yield from spin_until_zero(self.addr, max_backoff,
                                        initial_backoff=256, rng=rng)
         while True:
             old = yield isa.cas(self.addr, 0, tid + 1)
             if old == 0:
+                yield isa.mark(isa.MARK_LOCK_ACQUIRED, self.addr)
                 return
             yield from spin_until_zero(self.addr, max_backoff,
                                        initial_backoff=512, rng=rng)
@@ -57,3 +59,4 @@ class SpinLock:
             yield isa.stswp(self.addr, 0)
         else:
             yield isa.write(self.addr, 0)
+        yield isa.mark(isa.MARK_LOCK_RELEASE, self.addr)

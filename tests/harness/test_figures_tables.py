@@ -89,7 +89,7 @@ class TestFigureDrivers:
 
     def test_figures_registry(self):
         assert set(figures.FIGURES) == {"1", "6", "7", "8", "9", "10", "11",
-                                        "energy"}
+                                        "energy", "blame"}
 
     def test_energy_study_small(self, tmp_runner):
         data = figures.energy_study(tmp_runner, workloads=("HIST", "RAY"))

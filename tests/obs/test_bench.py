@@ -27,6 +27,20 @@ def test_bench_specs_match_the_pinned_grid():
                 spec.scale) == (wl, pol, threads, scale)
 
 
+def test_record_carries_environment_metadata(monkeypatch):
+    """Records capture the environment (additively: schema unchanged)."""
+    import repro.obs.bench as bench
+
+    # Environment fields must ride along without a schema bump — a bump
+    # would orphan the whole committed regression baseline.
+    assert BENCH_SCHEMA == 1
+    monkeypatch.setattr(bench, "bench_specs", lambda: [])  # skip the grid
+    record = bench.run_bench()
+    assert record["schema"] == BENCH_SCHEMA
+    assert record["python"] and record["platform"] and record["machine"]
+    assert record["cpu_count"] >= 1
+
+
 # --- history file -----------------------------------------------------
 
 

@@ -14,8 +14,8 @@ import pytest
 from repro.frontend import isa
 from repro.frontend.program import GeneratorProgram
 from repro.obs.perfetto import (PID_CORES, PID_HOME_NODES, PID_MESH,
-                                TraceFormatError, convert_events,
-                                convert_file, load_jsonl)
+                                PID_STALLS, PID_SYNC, TraceFormatError,
+                                convert_events, convert_file, load_jsonl)
 from repro.sim.config import TINY_CONFIG
 from repro.sim.engine import run
 from repro.sim.events import EventBus, TraceSink
@@ -35,10 +35,14 @@ def lock_program(mutex, counter_addr, rounds):
 
 @pytest.fixture(scope="module")
 def lock_trace():
-    """(records, sink) for a contended-lock run traced to memory."""
+    """(records, sink) for a contended-lock run traced to memory.
+
+    The trace is stamped so it carries the sync markers and per-op
+    breakdowns the dedicated sync/op tracks render.
+    """
     buf = io.StringIO()
     bus = EventBus()
-    sink = bus.subscribe(TraceSink(buf))
+    sink = bus.subscribe(TraceSink(buf, stamps=True))
     machine = Machine(TINY_CONFIG, "dynamo-reuse-pn", bus=bus)
     mutex = PthreadMutex(0x10000)
     programs = [lock_program(mutex, 0x10040, rounds=6)
@@ -71,17 +75,71 @@ def test_track_assignment(lock_trace):
     document = convert_events(records)
     events = _trace_events(document)
     for ev in events:
-        assert ev["pid"] in (PID_CORES, PID_HOME_NODES, PID_MESH)
-        if ev["cat"] in ("amo", "core"):
+        assert ev["pid"] in (PID_CORES, PID_HOME_NODES, PID_MESH,
+                             PID_STALLS, PID_SYNC)
+        if ev["cat"] in ("amo", "op"):
             assert ev["pid"] == PID_CORES
             assert 0 <= ev["tid"] < TINY_CONFIG.num_cores
         elif ev["cat"] == "memory":
             assert ev["pid"] == PID_HOME_NODES
         elif ev["cat"] == "noc":
             assert ev["pid"] == PID_MESH
-    # All three processes show up for a contended-lock run.
-    assert {ev["pid"] for ev in events} == {PID_CORES, PID_HOME_NODES,
-                                            PID_MESH}
+        elif ev["cat"] == "stall":
+            assert ev["pid"] == PID_STALLS
+        elif ev["cat"] == "sync":
+            assert ev["pid"] == PID_SYNC
+            assert 0 <= ev["tid"] < TINY_CONFIG.num_cores
+    # Core, home-node, mesh and sync processes all show up for a
+    # contended-lock run (stalls depend on store-buffer pressure).
+    assert {ev["pid"] for ev in events} >= {PID_CORES, PID_HOME_NODES,
+                                            PID_MESH, PID_SYNC}
+
+
+def test_lock_waits_become_sync_slices(lock_trace):
+    """Contended acquires render as "lock wait" slices on the sync track."""
+    records, _sink = lock_trace
+    events = _trace_events(convert_events(records))
+    waits = [ev for ev in events
+             if ev["pid"] == PID_SYNC and ev["ph"] == "X"]
+    assert waits, "a contended mutex must produce lock-wait slices"
+    assert all(ev["name"] == "lock wait" for ev in waits)
+    assert all(ev["dur"] >= 1 for ev in waits)
+    begins = sum(1 for r in records
+                 if r["kind"] == "sync" and r["what"] == "lock-begin")
+    assert len(waits) == begins
+    # Releases stay visible as instants on the same track.
+    instants = [ev for ev in events
+                if ev["pid"] == PID_SYNC and ev["ph"] == "i"]
+    assert any(ev["name"] == "lock-release" for ev in instants)
+
+
+def test_store_buffer_stalls_get_their_own_track():
+    document = convert_events([
+        {"kind": "store-buffer-stall", "cycle": 7, "core": 3, "block": -1,
+         "stalled_until": 19},
+    ])
+    events = _trace_events(document)
+    assert len(events) == 1
+    ev = events[0]
+    assert ev["pid"] == PID_STALLS and ev["tid"] == 3
+    assert ev["ph"] == "X" and ev["ts"] == 7 and ev["dur"] == 12
+    meta = [m for m in document["traceEvents"] if m["ph"] == "M"]
+    assert any(m["name"] == "process_name" and m["pid"] == PID_STALLS
+               for m in meta)
+
+
+def test_barrier_waits_pair_begin_with_end():
+    document = convert_events([
+        {"kind": "sync", "cycle": 10, "core": 1, "block": 64,
+         "what": "barrier-begin", "addr": 4096},
+        {"kind": "sync", "cycle": 90, "core": 1, "block": 64,
+         "what": "barrier-end", "addr": 4096},
+    ])
+    events = _trace_events(document)
+    assert len(events) == 1
+    ev = events[0]
+    assert ev["pid"] == PID_SYNC and ev["name"] == "barrier wait"
+    assert ev["ts"] == 10 and ev["dur"] == 80
 
 
 def test_metadata_names_every_track(lock_trace):

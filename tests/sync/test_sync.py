@@ -15,13 +15,23 @@ from repro.sync.mutex import PthreadMutex, critical_section
 from repro.sync.spinlock import SpinLock
 
 
-def drain(gen, results=None):
-    """Run a sync generator standalone, feeding scripted results."""
+def drain(gen, results=None, keep_marks=False):
+    """Run a sync generator standalone, feeding scripted results.
+
+    MARK ops mirror the engine: they receive None (not a scripted
+    result) and, being annotations rather than accesses, are dropped
+    from the returned stream unless ``keep_marks`` is set.
+    """
     ops = []
     results = list(results or [])
     try:
         op = gen.send(None)
         while True:
+            if op.type is OpType.MARK:
+                if keep_marks:
+                    ops.append(op)
+                op = gen.send(None)
+                continue
             ops.append(op)
             result = results.pop(0) if results else 0
             op = gen.send(result)
@@ -42,7 +52,11 @@ class TestMutexLayout:
             PthreadMutex(0x1008)
 
     def test_uncontended_acquire_sequence(self):
-        """Fig. 4 acquire: read Kind, CAS Lock, write Owner, write NUsers."""
+        """Fig. 4 acquire: read Kind, CAS Lock, write Owner, write NUsers.
+
+        MARK ops are timing-neutral annotations, not accesses; the Fig. 4
+        memory-access sequence must be exactly as before.
+        """
         mutex = PthreadMutex(0x1000)
         ops = drain(mutex.acquire(tid=3), results=[0, 0])
         kinds = [(op.type, op.addr) for op in ops]
@@ -50,6 +64,7 @@ class TestMutexLayout:
         assert ops[1].type is OpType.AMO_LOAD and ops[1].amo is AmoKind.CAS
         assert kinds[2] == (OpType.WRITE, mutex.owner_addr)
         assert kinds[3] == (OpType.WRITE, mutex.nusers_addr)
+        assert len(ops) == 4
 
     def test_release_sequence_ends_with_swap(self):
         """Fig. 4 release: read Kind, write NUsers, write Owner, SWAP."""
@@ -59,6 +74,18 @@ class TestMutexLayout:
         assert ops[1].addr == mutex.nusers_addr
         assert ops[2].addr == mutex.owner_addr
         assert ops[3].amo is AmoKind.SWAP
+        assert len(ops) == 4
+
+    def test_markers_are_timing_neutral_ops(self):
+        """MARK ops carry zero cycles and zero instructions."""
+        mutex = PthreadMutex(0x1000)
+        marks = [op for op in drain(mutex.acquire(tid=3), results=[0, 0],
+                                    keep_marks=True)
+                 if op.type is OpType.MARK]
+        assert marks, "acquire should emit sync markers"
+        for op in marks:
+            assert op.cycles == 0 and op.instructions == 0
+            assert op.addr == mutex.lock_addr
 
 
 class TestMutualExclusion:
