@@ -1,0 +1,89 @@
+"""Rendering for ``repro check``: human table and machine JSON.
+
+The JSON form is validated against ``tests/schemas/check.schema.json``
+in CI; every violation embeds a self-contained replay trace
+(``repro check --replay FILE`` accepts one such object).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.modelcheck.explore import CheckReport
+
+
+def _totals(report: CheckReport) -> Dict[str, Any]:
+    states = sum(c.states for c in report.cells)
+    transitions = sum(c.transitions for c in report.cells)
+    schedules = sum(c.schedules for c in report.cells)
+    # Prune ratio only over bounded cells: lock spins exceed the
+    # multinomial, so including them would make the ratio meaningless.
+    b_schedules = sum(c.schedules for c in report.cells if c.bounded)
+    b_naive = sum(c.naive for c in report.cells if c.bounded)
+    pruned_pct = (100.0 * (1.0 - b_schedules / b_naive)) if b_naive else 0.0
+    return {
+        "cells": len(report.cells),
+        "states": states,
+        "transitions": transitions,
+        "schedules": schedules,
+        "bounded_schedules": b_schedules,
+        "bounded_naive": b_naive,
+        "pruned_pct": round(pruned_pct, 2),
+        "violations": report.violation_count,
+        "complete": all(c.complete for c in report.cells),
+    }
+
+
+def render_text(report: CheckReport) -> str:
+    """Per-cell table plus totals, violations spelled out underneath."""
+    lines: List[str] = []
+    header = (f"{'scope':<10} {'policy':<18} {'states':>7} {'trans':>7} "
+              f"{'scheds':>7} {'naive':>8} {'pruned':>7} {'viol':>5}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in report.cells:
+        if cell.bounded and cell.naive:
+            pruned = f"{100.0 * (1.0 - cell.schedules / cell.naive):>6.1f}%"
+        else:
+            pruned = f"{'n/a':>7}"
+        flag = "" if cell.complete else "  (budget hit: INCOMPLETE)"
+        lines.append(
+            f"{cell.scope:<10} {cell.policy:<18} {cell.states:>7} "
+            f"{cell.transitions:>7} {cell.schedules:>7} {cell.naive:>8} "
+            f"{pruned} {len(cell.violations):>5}{flag}")
+    totals = _totals(report)
+    lines.append("")
+    lines.append(
+        f"explored {totals['states']} states, {totals['transitions']} "
+        f"transitions across {totals['cells']} cells; pruned "
+        f"{totals['pruned_pct']:.1f}% of {totals['bounded_naive']} naive "
+        f"interleavings on bounded cells ({totals['schedules']} schedules "
+        f"executed overall)")
+    for problem in report.spec_problems:
+        lines.append(f"SPEC: {problem}")
+    for cell in report.cells:
+        for rec in cell.violations:
+            v = rec.violation
+            lines.append(
+                f"VIOLATION [{cell.scope}/{cell.policy}] {v.invariant} at "
+                f"step {v.step} (schedule {list(rec.schedule)}): {v.message}")
+    if report.ok:
+        lines.append("OK: all invariants hold on the explored grid")
+    elif report.violation_count:
+        lines.append(f"FAIL: {report.violation_count} violation(s); "
+                     f"use --format json to extract replay traces")
+    else:
+        lines.append("INCOMPLETE: transition budget exhausted before "
+                     "exhausting the grid (raise --max-transitions)")
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> Dict[str, Any]:
+    """Machine-readable report (schema: tests/schemas/check.schema.json)."""
+    return {
+        "version": 1,
+        "ok": report.ok,
+        "totals": _totals(report),
+        "spec_problems": list(report.spec_problems),
+        "cells": [cell.as_dict() for cell in report.cells],
+    }

@@ -38,6 +38,14 @@ Commands:
   golden-digest corpus (stats + trace hashes per workload x policy) and
   compare against ``tests/golden/digests.json``; ``--update`` is the
   only way to regenerate the committed digests.
+* ``repro check [--scope S ...] [--policy P ...] [--smoke]
+  [--max-transitions N] [--format json] [--replay FILE]`` — small-scope
+  model checker: explore every schedule of short op scripts on the real
+  machine, checking SWMR, data values, AMO atomicity, deadlock freedom
+  and policy/AMT spec conformance; ``--replay`` re-executes a recorded
+  counterexample trace instead.  ``repro run --sanitize`` (or
+  ``REPRO_SANITIZE=1``) attaches the same invariants to a live
+  simulation.
 """
 
 from __future__ import annotations
@@ -107,6 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stamps", action="store_true",
                      help="with --trace: include stamp events (per-op "
                           "latency breakdowns, sync markers)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="attach the runtime invariant sanitizer "
+                          "(SWMR + AMO postconditions checked live; "
+                          "runs uncached; REPRO_SANITIZE=1 also enables)")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("which", type=_figure_name, choices=sorted(FIGURES),
@@ -233,6 +245,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: tests/golden/digests.json)")
     golden.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the recompute")
+
+    check = sub.add_parser(
+        "check", help="small-scope model checker: exhaustively verify "
+                      "coherence + AMO placement on the real machine")
+    check.add_argument("--scope", action="append", dest="scopes",
+                       metavar="NAME", default=None,
+                       help="scope name (repeatable; default: all)")
+    check.add_argument("--policy", action="append", dest="policies",
+                       metavar="NAME", default=None,
+                       help="policy name (repeatable; default: all)")
+    check.add_argument("--smoke", action="store_true",
+                       help="the fast CI subset of scopes")
+    check.add_argument("--max-transitions", type=int, default=None,
+                       help="per-cell transition budget")
+    check.add_argument("--format", dest="fmt", choices=("text", "json"),
+                       default="text")
+    check.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-execute a recorded counterexample trace "
+                            "(JSON from a --format json violation) "
+                            "instead of exploring")
     return parser
 
 
@@ -254,21 +286,44 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.modelcheck.sanitize import (SanitizerError,
+                                                    SanitizerSink,
+                                                    sanitize_requested)
+
     config = PAPER_CONFIG if args.paper_system else DEFAULT_CONFIG
     runner = Runner(config=config, use_cache=not args.no_cache)
-    if args.trace:
-        # Traced runs always simulate: a cached result has no events.
+    sanitize = args.sanitize or sanitize_requested()
+    if args.trace or sanitize:
+        # Traced/sanitized runs always simulate: a cached result has no
+        # events for the sinks to consume.
         from repro.harness.executor import execute_spec
         from repro.sim.events import TraceSink
 
         spec = runner.make_spec(args.workload, args.policy,
                                 threads=args.threads, scale=args.scale,
                                 input_name=args.input_name, seed=args.seed)
-        sink = TraceSink(args.trace, stamps=args.stamps)
-        result = execute_spec(spec, extra_sinks=(sink,))
+        sinks = []
+        trace_sink = None
+        if args.trace:
+            trace_sink = TraceSink(args.trace, stamps=args.stamps)
+            sinks.append(trace_sink)
+        san_sink = None
+        if sanitize:
+            san_sink = SanitizerSink()
+            sinks.append(san_sink)
+        try:
+            result = execute_spec(spec, extra_sinks=tuple(sinks))
+        except SanitizerError as exc:
+            print(f"sanitizer: INVARIANT VIOLATION: {exc}", file=sys.stderr)
+            return 1
         print(result.summary())
-        print(f"  trace: {sink.events_written} events -> {args.trace} "
-              f"(amo-near={sink.near_events} amo-far={sink.far_events})")
+        if trace_sink is not None:
+            print(f"  trace: {trace_sink.events_written} events -> "
+                  f"{args.trace} (amo-near={trace_sink.near_events} "
+                  f"amo-far={trace_sink.far_events})")
+        if san_sink is not None:
+            print(f"  sanitizer: {san_sink.checks} event checks, "
+                  f"{san_sink.sweeps} full SWMR sweeps, all clean")
     else:
         result = runner.run(args.workload, args.policy, threads=args.threads,
                             scale=args.scale, seed=args.seed,
@@ -445,6 +500,67 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.modelcheck import (check_grid, replay_trace,
+                                           scope_by_name)
+    from repro.analysis.modelcheck.explore import DEFAULT_MAX_TRANSITIONS
+    from repro.analysis.modelcheck.report import render_json, render_text
+    from repro.analysis.modelcheck.scope import SMOKE_SCOPES
+
+    if args.replay is not None:
+        try:
+            with open(args.replay) as fh:
+                trace = json.load(fh)
+            result = replay_trace(trace)
+        except (OSError, ValueError, KeyError,
+                json.JSONDecodeError) as exc:
+            print(f"check: bad trace: {exc}", file=sys.stderr)
+            return 2
+        for rec in result.violations:
+            v = rec.violation
+            print(f"step {v.step} (core {v.core}): {v.invariant}: "
+                  f"{v.message}")
+        if result.expected is not None:
+            verdict = ("reproduced" if result.reproduced
+                       else "NOT reproduced")
+            print(f"replayed {result.steps} steps: recorded "
+                  f"{result.expected.get('invariant')} violation "
+                  f"{verdict}")
+        else:
+            print(f"replayed {result.steps} steps: "
+                  f"{len(result.violations)} violation(s)")
+        return 1 if result.violations else 0
+
+    try:
+        if args.smoke:
+            names = list(SMOKE_SCOPES)
+            if args.scopes:
+                names = [n for n in names if n in args.scopes]
+            scopes = [scope_by_name(n) for n in names]
+        elif args.scopes:
+            scopes = [scope_by_name(n) for n in args.scopes]
+        else:
+            scopes = None
+    except KeyError as exc:
+        print(f"check: {exc.args[0]}", file=sys.stderr)
+        return 2
+    policies = args.policies
+    if policies:
+        bad = [p for p in policies if p not in POLICIES]
+        if bad:
+            print(f"check: unknown policies {bad} "
+                  f"(try `repro list`)", file=sys.stderr)
+            return 2
+    budget = (args.max_transitions if args.max_transitions is not None
+              else DEFAULT_MAX_TRANSITIONS)
+    report = check_grid(scopes, policies, max_transitions=budget)
+    if args.fmt == "json":
+        print(json.dumps(render_json(report), sort_keys=True))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     cost = amt_cost(args.entries, args.ways, args.counter_bits)
     print(cost.describe())
@@ -479,6 +595,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "golden":
         return _cmd_golden(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

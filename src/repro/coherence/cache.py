@@ -12,9 +12,18 @@ Implementation notes: each set is a plain dict mapping tag to
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.coherence.states import CacheState
+
+#: One line in a cache snapshot: (block, state value, fetched_by_amo,
+#: reused).  Plain ints/bools so snapshots hash and compare cheaply.
+LineSnapshot = Tuple[int, int, bool, bool]
+
+#: Architectural snapshot of a whole array: per set, the resident lines
+#: in LRU→MRU order (dict insertion order *is* the replacement state, so
+#: it must round-trip through snapshots).
+CacheSnapshot = Tuple[Tuple[LineSnapshot, ...], ...]
 
 
 class CacheLine:
@@ -126,3 +135,27 @@ class SetAssocCache:
         if block in line_set or len(line_set) < self.ways:
             return None
         return next(iter(line_set.values()))
+
+    # --- snapshot/restore (model checking) ----------------------------
+
+    def snapshot(self) -> CacheSnapshot:
+        """Hashable architectural snapshot: contents + LRU order."""
+        return tuple(
+            tuple((line.block, int(line.state), line.fetched_by_amo,
+                   line.reused)
+                  for line in line_set.values())
+            for line_set in self._sets)
+
+    def restore(self, snap: CacheSnapshot) -> None:
+        """Reset contents to ``snap``.
+
+        Mutates the existing set dicts in place: ``_sets`` (and each
+        dict inside it) is aliased by the machine's hot-path bindings,
+        so neither the list nor its element dicts may be rebound.
+        """
+        for line_set, lines in zip(self._sets, snap):
+            line_set.clear()
+            for block, state, fetched, reused in lines:
+                line = CacheLine(block, CacheState(state), fetched)
+                line.reused = reused
+                line_set[block] = line

@@ -22,7 +22,7 @@ next to the ALU so back-to-back far AMOs skip the slow LLC data array.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.coherence.cache import CacheLine, SetAssocCache
 from repro.coherence.states import CacheState
@@ -169,3 +169,33 @@ class DirectoryState:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # --- snapshot/restore (model checking) ----------------------------
+
+    def snapshot(self) -> "DirectorySnapshot":
+        """Hashable snapshot of the live entries.
+
+        Idle entries are dropped: an idle entry is architecturally
+        indistinguishable from an absent one (``entry()`` recreates it
+        on demand), and keeping them would split canonically equal
+        states.  ``line_busy_until`` is timing, not architecture, and is
+        excluded for the same reason.
+        """
+        return tuple(sorted(
+            (block,
+             -1 if e.owner is None else e.owner,
+             tuple(sorted(e.sharers)))
+            for block, e in self._entries.items() if not e.is_idle()))
+
+    def restore(self, snap: "DirectorySnapshot") -> None:
+        """Reset to ``snap``, mutating the aliased entry dict in place."""
+        self._entries.clear()
+        for block, owner, sharers in snap:
+            entry = DirEntry()
+            entry.owner = None if owner < 0 else owner
+            entry.sharers.update(sharers)
+            self._entries[block] = entry
+
+
+#: One directory entry in a snapshot: (block, owner or -1, sharers).
+DirectorySnapshot = Tuple[Tuple[int, int, Tuple[int, ...]], ...]

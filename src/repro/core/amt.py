@@ -13,9 +13,12 @@ behaviour this LRU-per-set structure reproduces.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
+from typing import (Callable, Dict, Generic, Iterator, List, Optional, Tuple,
+                    TypeVar)
 
 E = TypeVar("E")
+#: Encoded-entry type used by :meth:`AmoMetadataTable.snapshot`.
+S = TypeVar("S")
 
 
 class AmoMetadataTable(Generic[E]):
@@ -72,7 +75,7 @@ class AmoMetadataTable(Generic[E]):
         table_set[block] = entry
         return victim
 
-    def items(self):
+    def items(self) -> Iterator[Tuple[int, E]]:
         """Iterate resident ``(block, entry)`` pairs (observability only).
 
         No LRU or hit/miss effects — safe to call mid-simulation without
@@ -80,6 +83,30 @@ class AmoMetadataTable(Generic[E]):
         """
         for table_set in self._sets:
             yield from table_set.items()
+
+    def snapshot(self, encode: Callable[[E], S]) -> Tuple[
+            Tuple[Tuple[int, S], ...], ...]:
+        """Hashable snapshot: per set, (block, encode(entry)) in LRU order.
+
+        ``encode`` maps each entry object to an immutable value; the
+        insertion order is captured because it is the replacement state.
+        """
+        return tuple(
+            tuple((block, encode(entry))
+                  for block, entry in table_set.items())
+            for table_set in self._sets)
+
+    def restore(self, snap: Tuple[Tuple[Tuple[int, S], ...], ...],
+                decode: Callable[[S], E]) -> None:
+        """Reset contents to ``snap``, rebuilding entries via ``decode``.
+
+        Hit/miss/eviction counters are accounting, not predictor state,
+        and are deliberately left untouched.
+        """
+        for table_set, entries in zip(self._sets, snap):
+            table_set.clear()
+            for block, encoded in entries:
+                table_set[block] = decode(encoded)
 
     def __contains__(self, block: int) -> bool:
         return block in self._sets[block % self.num_sets]

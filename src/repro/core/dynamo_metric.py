@@ -17,9 +17,11 @@ dominating future predictions.
 
 from __future__ import annotations
 
+from typing import Any, Tuple
+
 from repro.coherence.states import CacheState
 from repro.core.amt import AmoMetadataTable
-from repro.core.policy import AmoPolicy, Placement
+from repro.core.policy import AmoPolicy, AuditInfo, Placement
 
 
 class MetricEntry:
@@ -68,6 +70,28 @@ class DynamoMetricPolicy(AmoPolicy):
         periods = (now - self._next_decay) // self.decay_period + 1
         self._next_decay += periods * self.decay_period
 
+    def audit_info(self, block: int) -> AuditInfo:
+        """(hit, (near_count, inval_count)) the next ``decide`` observes
+        (via the side-effect-free ``AmoMetadataTable.peek``).
+
+        Note the confidence slot carries the counter *pair* — attribution
+        groups only test it for truthiness, and the model checker wants
+        both counters to verify the ratio rule.
+        """
+        entry = self.amt.peek(block)
+        if entry is None:
+            return (False, None)
+        return (True, (entry.near_count, entry.inval_count))
+
+    def snapshot_state(self) -> Any:
+        return (self.amt.snapshot(lambda e: (e.near_count, e.inval_count)),
+                self._next_decay)
+
+    def restore_state(self, state: Any) -> None:
+        amt_snap, next_decay = state
+        self.amt.restore(amt_snap, _decode_metric_entry)
+        self._next_decay = next_decay
+
     def decide(self, block: int, state: CacheState, now: int) -> Placement:
         self._maybe_decay(now)
         entry = self.amt.lookup(block)
@@ -93,3 +117,9 @@ class DynamoMetricPolicy(AmoPolicy):
         entry.inval_count += 1
         if entry.inval_count >= self.counter_max:
             entry.decay()
+
+
+def _decode_metric_entry(counters: Tuple[int, int]) -> MetricEntry:
+    entry = MetricEntry()
+    entry.near_count, entry.inval_count = counters
+    return entry

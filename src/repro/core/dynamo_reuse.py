@@ -31,9 +31,11 @@ maximum, exactly as the paper specifies.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.coherence.states import CacheState
 from repro.core.amt import AmoMetadataTable
-from repro.core.policy import AmoPolicy, Placement
+from repro.core.policy import AmoPolicy, AuditInfo, Placement
 
 
 class ReuseEntry:
@@ -98,13 +100,23 @@ class DynamoReusePolicy(AmoPolicy):
             return Placement.NEAR
         return self._fallback(state)
 
-    def audit_info(self, block: int):
+    def audit_info(self, block: int) -> AuditInfo:
         """(hit, confidence) the next ``decide`` will observe (via the
         side-effect-free ``AmoMetadataTable.peek``; no LRU promotion)."""
         entry = self.amt.peek(block)
         if entry is None:
             return (False, None)
         return (True, entry.confidence)
+
+    def snapshot_state(self) -> Any:
+        return (self.amt.snapshot(lambda e: e.confidence),
+                self.global_fetched, self.global_reused)
+
+    def restore_state(self, state: Any) -> None:
+        amt_snap, fetched, reused = state
+        self.amt.restore(amt_snap, ReuseEntry)
+        self.global_fetched = fetched
+        self.global_reused = reused
 
     def decide(self, block: int, state: CacheState, now: int) -> Placement:
         entry = self.amt.lookup(block)

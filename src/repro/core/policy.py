@@ -26,8 +26,15 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
 
 from repro.coherence.states import CacheState
+
+#: What :meth:`AmoPolicy.audit_info` returns: None for stateless
+#: policies, else ``(hit, confidence)`` where confidence is
+#: policy-specific (an int for DynAMO-Reuse, a counter pair for
+#: DynAMO-Metric).
+AuditInfo = Optional[Tuple[bool, Any]]
 
 
 class Placement(enum.Enum):
@@ -53,7 +60,7 @@ class AmoPolicy(ABC):
 
     # --- observability (read-only; no-ops for static policies) ---
 
-    def audit_info(self, block: int):
+    def audit_info(self, block: int) -> AuditInfo:
         """Side-effect-free pre-decide snapshot for attribution sinks.
 
         Policies with a metadata table return ``(hit, confidence)`` —
@@ -64,6 +71,21 @@ class AmoPolicy(ABC):
         execution path and timing/behaviour must not depend on it.
         """
         return None
+
+    # --- snapshot/restore (model checking) ---
+
+    def snapshot_state(self) -> Any:
+        """Hashable snapshot of the predictor state (None if stateless).
+
+        The model checker forks execution by snapshot/restore; policies
+        with mutable learning state (the DynAMO predictors) override
+        both methods, static policies inherit the no-op pair.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Reset predictor state to a :meth:`snapshot_state` value."""
+        assert state is None, f"{self.name} has no state to restore"
 
     # --- learning hooks (no-ops for static policies) ---
 

@@ -1,0 +1,172 @@
+"""Machine-readable placement-policy specification (paper Table I + AMT).
+
+This module is the *specification* side of the policy conformance check:
+it restates, as plain data plus tiny interpreter functions, what each
+placement policy is supposed to decide and how the AMO Metadata Table
+counters are supposed to evolve.  The model checker
+(:mod:`repro.analysis.modelcheck`) predicts every decision and every
+counter update from these tables and compares against what the real
+policy objects in :mod:`repro.core` actually did — so the policies are
+verified against the paper's description rather than against their own
+code.
+
+Deliberate redundancy: the tables below must NOT be derived from
+``StaticPolicy.table`` or the DynAMO policy classes.  They are written
+out literally so that a bug in the implementation cannot silently
+propagate into its own oracle.  :func:`verify_static_tables` cross-checks
+the two at ``repro check`` startup.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.coherence.states import CacheState
+from repro.core.policy import Placement
+
+#: Paper Table I, transcribed: per static policy, the placement chosen
+#: for an AMO when the requesting core's L1 holds the block in the given
+#: CHI state ("N" = near / execute in the L1D, "F" = far / execute at the
+#: home node).  UC/UD rows are listed for completeness but the machine
+#: never consults a policy for them: an AMO on a unique line always runs
+#: near without a decision (the line is already exclusively owned).
+TABLE_I: Dict[str, Dict[str, str]] = {
+    "all-near":     {"UC": "N", "UD": "N", "SC": "N", "SD": "N", "I": "N"},
+    "unique-near":  {"UC": "N", "UD": "N", "SC": "F", "SD": "F", "I": "F"},
+    "present-near": {"UC": "N", "UD": "N", "SC": "N", "SD": "N", "I": "F"},
+    "dirty-near":   {"UC": "N", "UD": "N", "SC": "F", "SD": "N", "I": "F"},
+    "shared-far":   {"UC": "N", "UD": "N", "SC": "F", "SD": "F", "I": "N"},
+}
+
+#: DynAMO-Reuse confidence-counter transitions (paper §5.2).  Events:
+#: ``allocate-near``/``allocate-far`` fire when an AMT miss allocates an
+#: entry for a near/far first decision; ``departure-reused`` /
+#: ``departure-unused`` fire when a block fetched into the L1 by a near
+#: AMO leaves the L1, depending on whether any access hit it while
+#: resident.  Effects are (operation, operand) pairs interpreted by
+#: :func:`apply_reuse_transition`; "max" means the table's counter_max.
+REUSE_CONFIDENCE: Dict[str, Tuple[str, Any]] = {
+    "allocate-near":    ("set", "max"),
+    "allocate-far":     ("set", 0),
+    "departure-reused": ("add", 1),
+    "departure-unused": ("add", -1),
+}
+
+#: DynAMO-Metric per-block counter transitions (paper §5.1).  State is a
+#: ``(near_count, inval_count)`` pair; on saturation (either counter
+#: reaching counter_max) both halve — the policy's local aging rule.
+METRIC_COUNTERS: Dict[str, Tuple[str, Any]] = {
+    "allocate":     ("init", (1, 0)),
+    "near-amo":     ("bump", "near"),
+    "invalidation": ("bump", "inval"),
+}
+
+
+def expected_static_placement(policy_name: str, state: CacheState,
+                              ) -> Placement:
+    """Table I's placement for ``policy_name`` given the L1 state."""
+    cell = TABLE_I[policy_name][state.name]
+    return Placement.NEAR if cell == "N" else Placement.FAR
+
+
+def expected_reuse_placement(state: CacheState, *, hit: bool,
+                             confidence: Optional[int],
+                             fallback_present_near: bool,
+                             global_fetched: int, global_reused: int,
+                             global_threshold: float,
+                             warmup: int) -> Placement:
+    """DynAMO-Reuse decision per the paper spec.
+
+    On an AMT hit the stored confidence decides (positive -> near); on a
+    miss the global first-touch predictor decides: near during warmup or
+    while the program-wide reuse ratio clears ``global_threshold``,
+    otherwise the flavour's fallback (UN: always far; PN: near iff the
+    block is present in some private level, i.e. ``state.is_valid``).
+    """
+    fallback = (Placement.NEAR
+                if fallback_present_near and state.is_valid
+                else Placement.FAR)
+    if hit:
+        assert confidence is not None
+        return Placement.NEAR if confidence > 0 else fallback
+    if global_fetched < warmup:
+        return Placement.NEAR
+    if global_reused / global_fetched >= global_threshold:
+        return Placement.NEAR
+    return fallback
+
+
+def expected_metric_placement(entry: Optional[Tuple[int, int]],
+                              threshold: float) -> Placement:
+    """DynAMO-Metric decision: near while near_count dominates invals."""
+    if entry is None:
+        return Placement.NEAR  # miss: allocate and start optimistic
+    near_count, inval_count = entry
+    return (Placement.NEAR if near_count > threshold * inval_count
+            else Placement.FAR)
+
+
+def apply_reuse_transition(confidence: Optional[int], event: str,
+                           counter_max: int) -> Optional[int]:
+    """Interpret one :data:`REUSE_CONFIDENCE` transition.
+
+    ``confidence`` is None when the block has no AMT entry; departures
+    for untracked blocks leave the (absent) entry untouched, matching
+    the policy's peek-based update.
+    """
+    op, operand = REUSE_CONFIDENCE[event]
+    if op == "set":
+        return counter_max if operand == "max" else int(operand)
+    assert op == "add"
+    if confidence is None:
+        return None
+    return max(0, min(counter_max, confidence + int(operand)))
+
+
+def apply_metric_transition(entry: Optional[Tuple[int, int]], event: str,
+                            counter_max: int) -> Optional[Tuple[int, int]]:
+    """Interpret one :data:`METRIC_COUNTERS` transition."""
+    op, operand = METRIC_COUNTERS[event]
+    if op == "init":
+        return (int(operand[0]), int(operand[1]))
+    assert op == "bump"
+    if entry is None:
+        return None
+    near_count, inval_count = entry
+    if operand == "near":
+        near_count += 1
+        saturated = near_count >= counter_max
+    else:
+        inval_count += 1
+        saturated = inval_count >= counter_max
+    if saturated:
+        near_count >>= 1
+        inval_count >>= 1
+    return (near_count, inval_count)
+
+
+def verify_static_tables() -> List[str]:
+    """Cross-check the implementation's tables against :data:`TABLE_I`.
+
+    Returns human-readable mismatch descriptions (empty = conformant).
+    Run by ``repro check`` before any exploration so a drifted table is
+    reported even if no scope happens to exercise the drifted cell.
+    """
+    from repro.core.static_policies import STATIC_POLICIES
+    problems: List[str] = []
+    impl_names = set(STATIC_POLICIES)
+    spec_names = set(TABLE_I)
+    for name in sorted(spec_names - impl_names):
+        problems.append(f"policy {name!r} in TABLE_I but not implemented")
+    for name in sorted(impl_names - spec_names):
+        problems.append(f"policy {name!r} implemented but not in TABLE_I")
+    for name in sorted(spec_names & impl_names):
+        policy = STATIC_POLICIES[name]()
+        for state in CacheState:
+            want = expected_static_placement(name, state)
+            got = policy.table[state]
+            if got is not want:
+                problems.append(
+                    f"{name}: state {state.name} -> {got.name}, "
+                    f"spec says {want.name}")
+    return problems

@@ -328,6 +328,51 @@ class Machine:
         self.values[addr] = value
 
     # ------------------------------------------------------------------
+    # snapshot/restore (model checking)
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """Hashable snapshot of the machine's *architectural* state.
+
+        Captures exactly what future behaviour can depend on: private
+        cache contents (with replacement order and per-line predictor
+        flags), live directory entries, LLC contents per slice, memory
+        values, and per-core policy predictor state.  Timing state
+        (busy-until fields, store buffers, the AMO buffer) and
+        accounting counters are deliberately excluded: nothing in the
+        machine branches on them, so two states that agree on this
+        snapshot have identical architectural futures.  The model
+        checker uses the snapshot both as the fork point for exploring
+        interleavings and as the canonical state hash.
+        """
+        return (
+            tuple((p.l1.snapshot(), p.l2.snapshot()) for p in self.privates),
+            self.directory.snapshot(),
+            tuple(hn.llc.snapshot() for hn in self.home_nodes),
+            tuple(sorted((a, v) for a, v in self.values.items() if v != 0)),
+            tuple(policy.snapshot_state() for policy in self.policies),
+        )
+
+    def restore(self, snap) -> None:
+        """Reset architectural state to a :meth:`snapshot` value.
+
+        Every container is mutated in place — the hot-path aliases bound
+        in ``__init__`` (``_l1sets``/``_l2sets``/``_dir_entries``) point
+        at the live objects and must keep doing so after a restore.
+        """
+        caches, dir_snap, llc_snaps, values, policy_snaps = snap
+        for priv, (l1_snap, l2_snap) in zip(self.privates, caches):
+            priv.l1.restore(l1_snap)
+            priv.l2.restore(l2_snap)
+        self.directory.restore(dir_snap)
+        for hn, llc_snap in zip(self.home_nodes, llc_snaps):
+            hn.llc.restore(llc_snap)
+        self.values.clear()
+        self.values.update(values)
+        for policy, state in zip(self.policies, policy_snaps):
+            policy.restore_state(state)
+
+    # ------------------------------------------------------------------
     # store buffer
     # ------------------------------------------------------------------
 
