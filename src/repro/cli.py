@@ -38,6 +38,13 @@ Commands:
   golden-digest corpus (stats + trace hashes per workload x policy) and
   compare against ``tests/golden/digests.json``; ``--update`` is the
   only way to regenerate the committed digests.
+* ``repro serve [--host H] [--port P] [--workers N] [--cache-dir D]``
+  — long-running HTTP/JSON simulation service: ``POST /v1/batch``
+  accepts validated RunSpec batches, hits answer straight from the
+  sharded result cache, misses run on a bounded worker pool;
+  ``GET /v1/batch/<id>`` polls (or ``?wait=s`` long-polls) per-cell
+  progress and results, ``GET /v1/healthz`` / ``GET /v1/stats`` report
+  liveness, hit ratio, queue depth and latency percentiles.
 * ``repro check [--scope S ...] [--policy P ...] [--smoke]
   [--max-transitions N] [--format json] [--replay FILE]`` — small-scope
   model checker: explore every schedule of short op scripts on the real
@@ -245,6 +252,24 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: tests/golden/digests.json)")
     golden.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the recompute")
+
+    srv = sub.add_parser(
+        "serve", help="long-running HTTP/JSON simulation service "
+                      "(batch API over the sharded result cache)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8321,
+                     help="TCP port; 0 picks an ephemeral port "
+                          "(default: 8321)")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="simulation worker threads "
+                          "(default: $REPRO_JOBS or 4)")
+    srv.add_argument("--cache-dir", default=None,
+                     help="result cache directory "
+                          "(default: $REPRO_CACHE_DIR or .repro_cache); "
+                          "$REPRO_CACHE_BYTES bounds it with LRU "
+                          "eviction, $REPRO_MEMO_ENTRIES caps the "
+                          "in-memory memo")
 
     check = sub.add_parser(
         "check", help="small-scope model checker: exhaustively verify "
@@ -561,6 +586,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.harness.executor import ResultStore, default_jobs
+    from repro.service.app import serve_forever
+
+    if args.workers is not None:
+        workers = args.workers
+    else:
+        workers = default_jobs()
+        if workers == 1:
+            workers = 4
+    if workers < 1:
+        print(f"serve: --workers must be >= 1, got {workers}",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.cache_dir)
+    return serve_forever(args.host, args.port, workers, store=store)
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     cost = amt_cost(args.entries, args.ways, args.counter_bits)
     print(cost.describe())
@@ -597,6 +640,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_golden(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -11,7 +11,13 @@ The harness splits an experiment into three concerns:
   the spec's cache key, with crash-safe writes (unique temp file +
   atomic rename, safe against concurrent sweeps sharing one cache
   directory) and an in-process memo so a sweep never deserializes the
-  same JSON twice.
+  same JSON twice.  The store is service-grade: entries live in 256
+  key-prefix shard directories (a flat pre-shard cache is still read
+  and migrated on first touch), the memo is a bounded LRU so a
+  long-lived server cannot leak memory across millions of distinct
+  specs, all memo traffic is thread-safe, and an optional byte budget
+  (``$REPRO_CACHE_BYTES``) evicts least-recently-used entries from
+  disk after every write.
 * **Execution** — :class:`SerialExecutor` runs cells in order in this
   process; :class:`ParallelExecutor` fans misses out over a
   ``concurrent.futures.ProcessPoolExecutor``.  Workers return the
@@ -33,7 +39,9 @@ import json
 import os
 import sys
 import tempfile
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import IO, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,10 +61,47 @@ CACHE_VERSION = 8
 MAX_CYCLES = 2_000_000_000
 
 
+#: Shard fan-out: cache keys are hex, two prefix characters = 256 dirs.
+SHARD_CHARS = 2
+
+#: Default memo capacity (results held deserialized in memory).
+DEFAULT_MEMO_ENTRIES = 4096
+
+
 def default_cache_dir() -> str:
     """Cache location: ``$REPRO_CACHE_DIR`` or ``.repro_cache`` in cwd."""
     return os.environ.get("REPRO_CACHE_DIR",
                           os.path.join(os.getcwd(), ".repro_cache"))
+
+
+def default_memo_entries() -> int:
+    """Memo LRU capacity: ``$REPRO_MEMO_ENTRIES`` or 4096."""
+    raw = os.environ.get("REPRO_MEMO_ENTRIES", "").strip()
+    if not raw:
+        return DEFAULT_MEMO_ENTRIES
+    try:
+        entries = int(raw)
+    except ValueError:
+        raise ValueError("REPRO_MEMO_ENTRIES must be a positive integer, "
+                         f"got {raw!r}") from None
+    if entries < 1:
+        raise ValueError(f"REPRO_MEMO_ENTRIES must be >= 1, got {entries}")
+    return entries
+
+
+def default_byte_budget() -> Optional[int]:
+    """On-disk cache budget: ``$REPRO_CACHE_BYTES`` or None (unbounded)."""
+    raw = os.environ.get("REPRO_CACHE_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError("REPRO_CACHE_BYTES must be a positive integer, "
+                         f"got {raw!r}") from None
+    if budget < 1:
+        raise ValueError(f"REPRO_CACHE_BYTES must be >= 1, got {budget}")
+    return budget
 
 
 def default_jobs() -> int:
@@ -211,66 +256,216 @@ def deserialize_result(data: Dict) -> SimulationResult:
 # --- the result store -----------------------------------------------------
 
 class ResultStore:
-    """On-disk result cache with an in-process memo layer.
+    """Sharded on-disk result cache with a bounded in-process memo.
 
-    Writes go to a uniquely named temp file in the cache directory and
-    are published with an atomic :func:`os.replace`, so concurrent
-    processes (or a crash mid-write) can never leave a torn JSON file
-    behind under the final name.  Reads that fail to parse or fail the
-    schema check are treated as misses.
+    Writes go to a uniquely named temp file in the entry's shard
+    directory and are published with an atomic :func:`os.replace`, so
+    concurrent processes (or a crash mid-write) can never leave a torn
+    JSON file behind under the final name.  Reads that fail to parse,
+    fail the schema check, or fail at the OS level (a corrupted entry
+    that is a directory, an unreadable file, a shard path squatted by a
+    stray file) are treated as misses — a damaged cache recomputes, it
+    never crashes the caller.
+
+    Layout: entries are spread over 256 shard directories keyed by the
+    first two hex characters of the cache key, keeping per-directory
+    entry counts sane at service scale.  A flat pre-shard cache is
+    still honoured: a legacy ``<key>.json`` directly under the cache
+    root is read and promoted into its shard on first touch.
+
+    The memo is an LRU bounded at ``memo_entries`` results (default
+    ``$REPRO_MEMO_ENTRIES`` or 4096) and guarded by a lock, so a
+    long-lived multi-threaded server can serve concurrent readers
+    without leaking memory across millions of distinct specs.  When a
+    byte budget is set (``byte_budget`` or ``$REPRO_CACHE_BYTES``),
+    every write evicts least-recently-used entries (by mtime; disk
+    hits re-touch their file) until the cache fits the budget.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 memo_entries: Optional[int] = None,
+                 byte_budget: Optional[int] = None) -> None:
         self.cache_dir = cache_dir or default_cache_dir()
         self.enabled = enabled
-        self._memo: Dict[str, SimulationResult] = {}
+        self.memo_entries = (memo_entries if memo_entries is not None
+                             else default_memo_entries())
+        if self.memo_entries < 1:
+            raise ValueError(
+                f"memo_entries must be >= 1, got {self.memo_entries}")
+        self.byte_budget = (byte_budget if byte_budget is not None
+                            else default_byte_budget())
+        self._memo: "OrderedDict[str, SimulationResult]" = OrderedDict()
+        self._lock = threading.Lock()
         if self.enabled:
             os.makedirs(self.cache_dir, exist_ok=True)
 
+    # --- paths --------------------------------------------------------
+
+    def shard_dir(self, key: str) -> str:
+        """Shard directory holding ``key``'s entry."""
+        return os.path.join(self.cache_dir, key[:SHARD_CHARS])
+
     def path_for(self, spec: RunSpec) -> str:
+        key = spec.cache_key()
+        return os.path.join(self.shard_dir(key), key + ".json")
+
+    def legacy_path_for(self, spec: RunSpec) -> str:
+        """Pre-shard flat location (read-only back-compat)."""
         return os.path.join(self.cache_dir, spec.cache_key() + ".json")
+
+    # --- memo (LRU, thread-safe) --------------------------------------
+
+    def _memo_get(self, key: str) -> Optional[SimulationResult]:
+        with self._lock:
+            result = self._memo.get(key)
+            if result is not None:
+                self._memo.move_to_end(key)
+            return result
+
+    def _memo_put(self, key: str, result: SimulationResult) -> None:
+        with self._lock:
+            self._memo[key] = result
+            self._memo.move_to_end(key)
+            while len(self._memo) > self.memo_entries:
+                self._memo.popitem(last=False)
+
+    # --- read ---------------------------------------------------------
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Dict]:
+        """Parse ``path`` or return None; any failure mode is a miss."""
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError, UnicodeDecodeError):
+            # OSError covers FileNotFoundError, IsADirectoryError and
+            # permission problems; ValueError covers JSONDecodeError.
+            return None
+        return data if isinstance(data, dict) else None
 
     def load(self, spec: RunSpec) -> Optional[SimulationResult]:
         """Cached result for ``spec``, or None on a miss."""
         if not self.enabled:
             return None
         key = spec.cache_key()
-        memo = self._memo.get(key)
+        memo = self._memo_get(key)
         if memo is not None:
             return memo
         path = self.path_for(spec)
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        data = self._read_json(path)
+        migrated = False
+        if data is None:
+            data = self._read_json(self.legacy_path_for(spec))
+            migrated = data is not None
+        if data is None:
             return None
         try:
             result = deserialize_result(data)
         except CacheSchemaError:
             return None  # written by a different revision: recompute
-        self._memo[key] = result
+        if migrated:
+            # Promote the legacy flat entry into its shard (and drop the
+            # old file) so one pass over a pre-shard cache migrates it.
+            self._write_entry(key, data)
+            try:
+                os.unlink(self.legacy_path_for(spec))
+            except OSError:
+                pass
+        elif self.byte_budget is not None:
+            try:  # refresh recency so LRU eviction spares hot entries
+                os.utime(path)
+            except OSError:
+                pass
+        self._memo_put(key, result)
         return result
 
-    def store(self, spec: RunSpec, result: SimulationResult) -> None:
-        """Persist ``result`` for ``spec`` (memo always, disk if enabled)."""
-        key = spec.cache_key()
-        self._memo[key] = result
-        if not self.enabled:
-            return
-        path = self.path_for(spec)
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir,
-                                   prefix=key + ".", suffix=".tmp")
+    # --- write --------------------------------------------------------
+
+    def _write_entry(self, key: str, data: Dict) -> None:
+        """Crash-safe publish of one serialized entry into its shard."""
+        shard = self.shard_dir(key)
+        os.makedirs(shard, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=shard, prefix=key + ".",
+                                   suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(serialize_result(result), fh)
-            os.replace(tmp, path)
+                json.dump(data, fh)
+            os.replace(tmp, os.path.join(shard, key + ".json"))
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    def store(self, spec: RunSpec, result: SimulationResult) -> None:
+        """Persist ``result`` for ``spec`` (memo always, disk if enabled)."""
+        key = spec.cache_key()
+        self._memo_put(key, result)
+        if not self.enabled:
+            return
+        self._write_entry(key, serialize_result(result))
+        if self.byte_budget is not None:
+            self.evict_to_budget(protect=key)
+
+    # --- eviction -----------------------------------------------------
+
+    def _disk_entries(self) -> List[Tuple[float, int, str]]:
+        """All cache entries as ``(mtime, size, path)`` (stat races ok)."""
+        entries = []
+        try:
+            roots = [self.cache_dir] + [
+                os.path.join(self.cache_dir, d)
+                for d in os.listdir(self.cache_dir)
+                if os.path.isdir(os.path.join(self.cache_dir, d))]
+        except OSError:
+            return []
+        for root in roots:
+            try:
+                names = os.listdir(root)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(root, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue  # concurrently evicted
+                entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Total bytes currently held on disk."""
+        return sum(size for _, size, _ in self._disk_entries())
+
+    def evict_to_budget(self, protect: Optional[str] = None) -> int:
+        """Remove LRU entries until the cache fits ``byte_budget``.
+
+        ``protect`` names a cache key that must survive this pass (the
+        entry just written), so a budget smaller than one result still
+        serves it.  Returns the number of entries removed.
+        """
+        if self.byte_budget is None:
+            return 0
+        entries = sorted(self._disk_entries())
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            if total <= self.byte_budget:
+                break
+            if protect is not None and os.path.basename(path) == \
+                    protect + ".json":
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
 
 
 # --- sweep progress -------------------------------------------------------

@@ -1,0 +1,32 @@
+"""``repro serve``: a long-running simulation service over the executor.
+
+The service promotes the sweep harness into a persistent HTTP/JSON API
+(stdlib-only: ``http.server`` + ``concurrent.futures``) in the DINOMO
+mould — a stateless compute pool in front of a shared, sharded result
+store:
+
+* :mod:`repro.service.api` — request validation (checked-in JSON
+  schema + semantic checks) and spec parsing;
+* :mod:`repro.service.cache` — single-flight deduplicating front over
+  :class:`~repro.harness.executor.ResultStore` with hit/miss counters;
+* :mod:`repro.service.scheduler` — bounded worker pool, job/cell
+  lifecycle tracking, service latency histogram;
+* :mod:`repro.service.app` — the HTTP server and routes
+  (``POST /v1/batch``, ``GET /v1/batch/<id>``,
+  ``GET /v1/batch/<id>/events``, ``GET /v1/healthz``,
+  ``GET /v1/stats``);
+* :mod:`repro.service.loadgen` — deterministic Zipf request-trace
+  generation for load tests;
+* :mod:`repro.service.smoke` — the CI smoke entry point
+  (``python -m repro.service.smoke``).
+"""
+
+from repro.service.api import BatchValidationError, parse_batch
+from repro.service.app import ReproServer, make_server, serve
+from repro.service.cache import SingleFlightCache
+from repro.service.scheduler import Scheduler
+
+__all__ = [
+    "BatchValidationError", "parse_batch", "ReproServer", "make_server",
+    "serve", "SingleFlightCache", "Scheduler",
+]

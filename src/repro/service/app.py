@@ -1,0 +1,261 @@
+"""The HTTP/JSON front end: ``repro serve``.
+
+Stdlib-only: :class:`~http.server.ThreadingHTTPServer` handles
+connection concurrency while the scheduler's bounded pool handles
+simulation concurrency, so a burst of clients cannot oversubscribe the
+CPU.  Routes:
+
+* ``POST /v1/batch`` — validated RunSpec batch; answers ``202`` with a
+  job id (hits in the body are already ``done`` from the cache).
+* ``GET /v1/batch/<id>`` — job snapshot with per-cell status, source
+  and (by default) full serialized results; ``?wait=SECONDS`` blocks
+  until the job settles or the timeout elapses, ``?results=0`` strips
+  result payloads for cheap polling.
+* ``GET /v1/batch/<id>/events`` — NDJSON progress stream: one line per
+  settled cell as it completes, then a final summary line.
+* ``GET /v1/healthz`` — liveness (status + uptime).
+* ``GET /v1/stats`` — uptime, worker/job/cell gauges, cache hit
+  ratio, single-flight counters, latency percentiles (shape pinned by
+  ``tests/schemas/serve.schema.json``).
+
+Validation failures answer ``400`` with the JSON-path-tagged error
+list; a worker exception surfaces as that cell's ``error`` payload,
+never as a 500.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.harness.executor import ResultStore
+from repro.service.api import BatchValidationError, parse_batch
+from repro.service.scheduler import Scheduler
+
+#: Longest a ``?wait=`` long-poll or event stream may block.
+MAX_WAIT_S = 120.0
+
+#: Largest accepted request body (a 1024-cell batch is ~256 KiB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The service: an HTTP server owning a scheduler."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 scheduler: Scheduler,
+                 quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.quiet = quiet
+        self.started = time.time()
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+    def uptime_s(self) -> float:
+        return time.time() - self.started
+
+    def close(self) -> None:
+        """Stop accepting, drain the worker pool, release the socket."""
+        self.shutdown()
+        self.scheduler.shutdown(wait=True)
+        self.server_close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer  # narrowed for the route helpers
+
+    # Keep-alive lets one client poll a job over one connection.
+    protocol_version = "HTTP/1.1"
+
+    # --- plumbing -----------------------------------------------------
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        if not self.server.quiet:  # pragma: no cover - log formatting
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str,
+               errors: Optional[list] = None) -> None:
+        payload: Dict[str, object] = {"error": message}
+        if errors:
+            payload["errors"] = errors
+        self._send_json(status, payload)
+
+    # --- routing ------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["v1", "healthz"]:
+                self._get_healthz()
+            elif parts == ["v1", "stats"]:
+                self._get_stats()
+            elif len(parts) == 3 and parts[:2] == ["v1", "batch"]:
+                self._get_batch(parts[2], query)
+            elif len(parts) == 4 and parts[:2] == ["v1", "batch"] \
+                    and parts[3] == "events":
+                self._get_batch_events(parts[2])
+            else:
+                self._error(404, f"no such resource: {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["v1", "batch"]:
+                self._post_batch()
+            else:
+                self._error(404, f"no such resource: {url.path}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # --- routes -------------------------------------------------------
+
+    def _get_healthz(self) -> None:
+        self._send_json(200, {
+            "status": "ok",
+            "service": "repro-serve",
+            "uptime_s": round(self.server.uptime_s(), 3),
+        })
+
+    def _get_stats(self) -> None:
+        payload = self.server.scheduler.stats()
+        payload["service"] = "repro-serve"
+        payload["uptime_s"] = round(self.server.uptime_s(), 3)
+        self._send_json(200, payload)
+
+    def _post_batch(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length header")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, f"body length {length} outside "
+                             f"(0, {MAX_BODY_BYTES}]")
+            return
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"body is not valid JSON: {exc}")
+            return
+        try:
+            specs = parse_batch(payload)
+        except BatchValidationError as exc:
+            self._error(400, "batch failed validation", errors=exc.errors)
+            return
+        try:
+            job = self.server.scheduler.submit(specs)
+        except RuntimeError as exc:  # shutting down
+            self._error(503, str(exc))
+            return
+        self._send_json(202, {
+            "job": job.id,
+            "cells": len(job.cells),
+            "status_url": f"/v1/batch/{job.id}",
+            "events_url": f"/v1/batch/{job.id}/events",
+        })
+
+    def _get_batch(self, job_id: str, query: Dict[str, list]) -> None:
+        job = self.server.scheduler.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        wait_raw = query.get("wait", ["0"])[0]
+        try:
+            wait_s = min(float(wait_raw), MAX_WAIT_S)
+        except ValueError:
+            self._error(400, f"bad wait value: {wait_raw!r}")
+            return
+        if wait_s > 0:
+            job.wait(timeout=wait_s)
+        include = query.get("results", ["1"])[0] != "0"
+        self._send_json(200, job.snapshot(include_results=include))
+
+    def _get_batch_events(self, job_id: str) -> None:
+        job = self.server.scheduler.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        # Unbounded-length response: close-delimited, not keep-alive.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        for cell in job.iter_completions(timeout=MAX_WAIT_S):
+            line = json.dumps(cell.snapshot(include_results=False),
+                              sort_keys=True)
+            self.wfile.write(line.encode() + b"\n")
+            self.wfile.flush()
+        summary = job.snapshot(include_results=False)
+        del summary["cells"]
+        self.wfile.write(json.dumps(summary, sort_keys=True).encode()
+                         + b"\n")
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                workers: int = 4,
+                store: Optional[ResultStore] = None,
+                scheduler: Optional[Scheduler] = None,
+                quiet: bool = True) -> ReproServer:
+    """Build a ready-to-run server (``port=0`` picks an ephemeral port)."""
+    if scheduler is None:
+        scheduler = Scheduler(store=store, workers=workers)
+    return ReproServer((host, port), scheduler, quiet=quiet)
+
+
+def serve(server: ReproServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread; returns the thread."""
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-accept", daemon=True)
+    thread.start()
+    return thread
+
+
+def serve_forever(host: str, port: int, workers: int,
+                  store: Optional[ResultStore] = None,
+                  quiet: bool = False) -> int:
+    """Blocking entry point used by ``repro serve`` (Ctrl-C to stop)."""
+    try:
+        server = make_server(host, port, workers=workers, store=store,
+                             quiet=quiet)
+    except socket.error as exc:
+        print(f"serve: cannot bind {host}:{port}: {exc}")
+        return 1
+    sched = server.scheduler
+    print(f"repro serve: listening on http://{host}:{server.port} "
+          f"({workers} workers, cache at "
+          f"{sched.cache.store.cache_dir})")
+    print("  POST /v1/batch   GET /v1/batch/<id>[?wait=s]   "
+          "GET /v1/healthz   GET /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nrepro serve: shutting down")
+    finally:
+        server.scheduler.shutdown(wait=True)
+        server.server_close()
+    return 0

@@ -1,0 +1,15 @@
+"""Checked-in JSON schemas for the service wire formats."""
+
+import json
+import os
+from typing import Any, Dict
+
+_HERE = os.path.dirname(__file__)
+
+
+def load_schema(name: str) -> Dict[str, Any]:
+    """Load a schema shipped with the package (e.g. ``"batch"``)."""
+    with open(os.path.join(_HERE, name + ".schema.json")) as fh:
+        schema = json.load(fh)
+    assert isinstance(schema, dict)
+    return schema

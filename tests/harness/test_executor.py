@@ -8,6 +8,7 @@ produce byte-identical cache files to a serial one.
 
 import json
 import os
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -129,21 +130,44 @@ def test_machine_stats_from_dict_names_fields():
 SPEC = make_spec("HIST", "all-near", threads=4, scale=0.1)
 
 
+def _plant(store, spec, text):
+    """Write raw ``text`` under the spec's (sharded) cache path."""
+    path = store.path_for(spec)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
 def test_store_miss_on_schema_drift(tmp_path):
     """A cache file from a different revision re-runs, never resurrects."""
     store = ResultStore(str(tmp_path))
     data = serialize_result(_tiny_result())
     data["from_the_future"] = True
-    with open(store.path_for(SPEC), "w") as fh:
-        json.dump(data, fh)
+    _plant(store, SPEC, json.dumps(data))
     assert store.load(SPEC) is None
 
 
 def test_store_miss_on_corrupt_json(tmp_path):
     store = ResultStore(str(tmp_path))
-    with open(store.path_for(SPEC), "w") as fh:
-        fh.write('{"policy": "all-ne')  # torn write from a crashed run
+    # Torn write from a crashed run.
+    _plant(store, SPEC, '{"policy": "all-ne')
     assert store.load(SPEC) is None
+
+
+def test_store_miss_on_directory_entry(tmp_path):
+    """A cache entry that is a *directory* reads as a miss, not a crash."""
+    store = ResultStore(str(tmp_path))
+    os.makedirs(store.path_for(SPEC))
+    assert store.load(SPEC) is None
+
+
+def test_store_miss_on_shard_squatted_by_file(tmp_path):
+    """A stray file where the shard dir should be reads as a miss."""
+    store = ResultStore(str(tmp_path))
+    with open(store.shard_dir(SPEC.cache_key()), "w") as fh:
+        fh.write("not a directory")
+    assert store.load(SPEC) is None  # NotADirectoryError swallowed
 
 
 def test_store_round_trip_and_memo(tmp_path):
@@ -166,6 +190,110 @@ def test_store_disabled_keeps_memo_only(tmp_path):
     store.store(SPEC, _tiny_result())
     assert store.load(SPEC) is None, "disabled store must not serve hits"
     assert not (tmp_path / "never-created").exists()
+
+
+def test_store_shards_by_key_prefix(tmp_path):
+    """Entries land in 256-way key-prefix shard directories."""
+    store = ResultStore(str(tmp_path))
+    store.store(SPEC, _tiny_result())
+    key = SPEC.cache_key()
+    assert os.path.isfile(
+        os.path.join(str(tmp_path), key[:2], key + ".json"))
+    assert not os.path.exists(
+        os.path.join(str(tmp_path), key + ".json"))
+
+
+def test_store_reads_and_migrates_legacy_flat_entry(tmp_path):
+    """A pre-shard flat cache file is served and promoted to its shard."""
+    writer = ResultStore(str(tmp_path))
+    result = _tiny_result()
+    # Simulate a pre-shard cache: entry flat under the root.
+    with open(writer.legacy_path_for(SPEC), "w") as fh:
+        json.dump(serialize_result(result), fh)
+    reader = ResultStore(str(tmp_path))
+    loaded = reader.load(SPEC)
+    assert loaded is not None
+    assert serialize_result(loaded) == serialize_result(result)
+    assert os.path.isfile(reader.path_for(SPEC)), "entry promoted to shard"
+    assert not os.path.exists(reader.legacy_path_for(SPEC)), \
+        "legacy flat file removed after promotion"
+    # A second, fresh store now hits the sharded entry directly.
+    again = ResultStore(str(tmp_path)).load(SPEC)
+    assert again is not None
+    assert serialize_result(again) == serialize_result(result)
+
+
+def test_memo_is_a_bounded_lru(tmp_path):
+    """The memo never exceeds its cap; evicted entries re-read from disk."""
+    store = ResultStore(str(tmp_path), memo_entries=2)
+    specs = [make_spec("HIST", "all-near", threads=4, scale=0.1, seed=s)
+             for s in range(3)]
+    for spec in specs:
+        store.store(spec, _tiny_result())
+    assert len(store._memo) == 2, "memo capped at memo_entries"
+    # The oldest spec fell out of the memo but is still served from disk.
+    oldest = store.load(specs[0])
+    assert oldest is not None
+    # Touching an entry refreshes its recency.
+    store.load(specs[1])
+    store.store(make_spec("HIST", "all-near", threads=4, scale=0.1, seed=9),
+                _tiny_result())
+    assert specs[1].cache_key() in store._memo, \
+        "recently used entry survives the next insertion"
+
+
+def test_memo_entries_env(monkeypatch, tmp_path):
+    from repro.harness.executor import default_memo_entries
+    monkeypatch.delenv("REPRO_MEMO_ENTRIES", raising=False)
+    assert default_memo_entries() == 4096
+    monkeypatch.setenv("REPRO_MEMO_ENTRIES", "7")
+    assert ResultStore(str(tmp_path)).memo_entries == 7
+    monkeypatch.setenv("REPRO_MEMO_ENTRIES", "0")
+    with pytest.raises(ValueError, match="REPRO_MEMO_ENTRIES"):
+        default_memo_entries()
+
+
+def test_byte_budget_evicts_lru(tmp_path):
+    """Writes past the byte budget evict the least-recently-used entries."""
+    probe = ResultStore(str(tmp_path / "probe"))
+    probe.store(SPEC, _tiny_result())
+    entry_bytes = os.path.getsize(probe.path_for(SPEC))
+
+    store = ResultStore(str(tmp_path / "real"), memo_entries=1,
+                        byte_budget=entry_bytes * 2)
+    specs = [make_spec("HIST", "all-near", threads=4, scale=0.1, seed=s)
+             for s in range(3)]
+    now = time.time()
+    for i, spec in enumerate(specs):
+        store.store(spec, _tiny_result())
+        # Deterministic LRU order even on coarse-mtime filesystems.
+        os.utime(store.path_for(spec), (now + i, now + i))
+    store.evict_to_budget(protect=specs[-1].cache_key())
+    assert store.disk_bytes() <= entry_bytes * 2
+    assert not os.path.exists(store.path_for(specs[0])), \
+        "oldest entry evicted"
+    assert os.path.exists(store.path_for(specs[2])), \
+        "newest entry survives"
+
+
+def test_byte_budget_protects_latest_write(tmp_path):
+    """A budget smaller than one entry still serves the entry just stored."""
+    store = ResultStore(str(tmp_path), byte_budget=1)
+    store.store(SPEC, _tiny_result())
+    assert os.path.exists(store.path_for(SPEC))
+    fresh = ResultStore(str(tmp_path))
+    assert fresh.load(SPEC) is not None
+
+
+def test_cache_bytes_env(monkeypatch, tmp_path):
+    from repro.harness.executor import default_byte_budget
+    monkeypatch.delenv("REPRO_CACHE_BYTES", raising=False)
+    assert default_byte_budget() is None
+    monkeypatch.setenv("REPRO_CACHE_BYTES", "1048576")
+    assert ResultStore(str(tmp_path)).byte_budget == 1048576
+    monkeypatch.setenv("REPRO_CACHE_BYTES", "lots")
+    with pytest.raises(ValueError, match="REPRO_CACHE_BYTES"):
+        default_byte_budget()
 
 
 # --- spec planning ----------------------------------------------------
@@ -210,8 +338,13 @@ GRID_POLICIES = ("all-near", "unique-near", "dirty-near")
 
 
 def _cache_bytes(cache_dir):
-    return {name: open(os.path.join(cache_dir, name), "rb").read()
-            for name in sorted(os.listdir(cache_dir))}
+    out = {}
+    for root, _dirs, names in os.walk(cache_dir):
+        for name in sorted(names):
+            rel = os.path.relpath(os.path.join(root, name), cache_dir)
+            with open(os.path.join(root, name), "rb") as fh:
+                out[rel] = fh.read()
+    return out
 
 
 def test_parallel_matches_serial_on_fig7_subgrid(tmp_path):

@@ -52,7 +52,9 @@ class TestRunner:
     def test_cache_files_created(self, tmp_path):
         runner = Runner(cache_dir=str(tmp_path))
         runner.run("RAY", "all-near", **SMALL)
-        assert any(name.endswith(".json") for name in os.listdir(tmp_path))
+        assert any(name.endswith(".json")
+                   for _root, _dirs, names in os.walk(tmp_path)
+                   for name in names)
 
     def test_no_cache_mode_writes_nothing(self, tmp_path):
         runner = Runner(cache_dir=str(tmp_path), use_cache=False)

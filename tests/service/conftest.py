@@ -1,0 +1,139 @@
+"""Service test fixtures: a real in-process server + HTTP client.
+
+The server fixture binds a real :class:`ReproServer` on an ephemeral
+port with a scheduler whose ``compute`` is injectable: API and load
+tests use :func:`stub_compute` (deterministic, microsecond-fast,
+internally redundant so torn reads are detectable), while the golden
+end-to-end test uses the real :func:`execute_spec`.
+"""
+
+import hashlib
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.executor import ResultStore, execute_spec
+from repro.noc.message import TrafficMeter
+from repro.service.app import make_server, serve
+from repro.service.scheduler import Scheduler
+from repro.sim.results import MachineStats, SimulationResult
+
+
+def stub_key_number(spec):
+    """Deterministic per-spec integer (drives every stub field)."""
+    return int(hashlib.sha256(
+        spec.cache_key().encode()).hexdigest()[:8], 16)
+
+
+def stub_compute(spec):
+    """Fast fake simulation with *internally redundant* fields.
+
+    Every field is derived from one per-spec number, so a torn read
+    (fields from two different results mixed into one response) breaks
+    an invariant the tests can check: ``instructions == 3 * cycles``,
+    ``per_core_finish == [cycles] * threads`` and
+    ``metadata["key"] == spec.cache_key()``.
+    """
+    n = stub_key_number(spec)
+    cycles = 1_000 + n % 1_000_000
+    return SimulationResult(
+        policy=spec.policy,
+        cycles=cycles,
+        per_core_finish=[cycles] * spec.threads,
+        instructions=cycles * 3,
+        amos_committed=n % 997,
+        stats=MachineStats(),
+        traffic=TrafficMeter(),
+        metadata={"workload": spec.workload, "key": spec.cache_key(),
+                  "seed": spec.seed},
+    )
+
+
+def assert_untorn(spec_dict, result):
+    """Check the stub's redundancy invariants on one wire result."""
+    cycles = result["cycles"]
+    assert result["instructions"] == 3 * cycles, "torn read: instructions"
+    threads = spec_dict.get("threads", 8)
+    assert result["per_core_finish"] == [cycles] * threads, \
+        "torn read: per_core_finish"
+    assert result["metadata"]["workload"] == \
+        spec_dict["workload"].upper(), "torn read: metadata"
+
+
+class Client:
+    """Minimal JSON-over-HTTP client for the test server."""
+
+    def __init__(self, port):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def request(self, path, data=None, headers=None, timeout=120):
+        req = urllib.request.Request(self.base + path, data=data,
+                                     headers=headers or {})
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path):
+        return self.request(path)
+
+    def post(self, path, payload):
+        return self.request(
+            path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+
+    def post_raw(self, path, body: bytes):
+        """POST arbitrary bytes (malformed-body tests)."""
+        return self.request(
+            path, data=body, headers={"Content-Type": "application/json"})
+
+    def stream(self, path, timeout=120):
+        """GET an NDJSON endpoint; returns the parsed lines."""
+        req = urllib.request.Request(self.base + path)
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            assert resp.status == 200
+            return [json.loads(line) for line in resp.read().splitlines()]
+
+    def run_batch(self, cells, wait=90):
+        """POST a batch and long-poll it to completion."""
+        status, posted = self.post("/v1/batch", {"cells": cells})
+        assert status == 202, posted
+        status, job = self.get(f"/v1/batch/{posted['job']}?wait={wait}")
+        assert status == 200, job
+        assert job["done"], job
+        return job
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    """Factory: spin up servers (ephemeral port); torn down at test end."""
+    servers = []
+
+    def _make(compute=stub_compute, workers=4, store=None, **sched_kw):
+        if store is None:
+            store = ResultStore(str(tmp_path / "service-cache"))
+        scheduler = Scheduler(store=store, workers=workers,
+                              compute=compute, **sched_kw)
+        server = make_server(port=0, scheduler=scheduler)
+        serve(server)
+        servers.append(server)
+        return server, Client(server.port)
+
+    yield _make
+    for server in servers:
+        server.close()
+
+
+@pytest.fixture
+def service(make_service):
+    """One stub-computed service: ``(server, client)``."""
+    return make_service()
+
+
+@pytest.fixture
+def real_service(make_service):
+    """A service running the real simulator (golden E2E tests)."""
+    return make_service(compute=execute_spec, workers=2)

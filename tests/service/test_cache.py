@@ -1,0 +1,201 @@
+"""Cache-layer correctness: single-flight dedup, eviction, interleavings.
+
+The store property test drives random store/load/evict interleavings
+against a shadow model and checks two invariants after every step:
+a load never returns a *wrong* result (stale-but-evicted is a miss,
+never corruption) and the on-disk footprint never exceeds the byte
+budget after an eviction pass.
+"""
+
+import json
+import os
+import tempfile
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.executor import (ResultStore, make_spec,
+                                    serialize_result)
+from repro.service.cache import SingleFlightCache
+from tests.service.conftest import stub_compute
+
+SPECS = [make_spec("HIST", "all-near", threads=8, scale=0.5, seed=s)
+         for s in range(5)]
+
+
+# --- single-flight ----------------------------------------------------
+
+
+def test_single_flight_computes_once_under_contention(tmp_path):
+    cache = SingleFlightCache(ResultStore(str(tmp_path)))
+    spec = SPECS[0]
+    computes = []
+    enter = threading.Barrier(8)
+
+    def slow_compute(s):
+        computes.append(s.cache_key())
+        return stub_compute(s)
+
+    results = [None] * 8
+    sources = [None] * 8
+
+    def worker(i):
+        enter.wait()  # all 8 threads request the same key together
+        results[i], sources[i] = cache.get(spec, slow_compute)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(computes) == 1, "concurrent identical requests compute once"
+    wires = {json.dumps(serialize_result(r), sort_keys=True)
+             for r in results}
+    assert len(wires) == 1, "every caller sees the same result"
+    assert sources.count("computed") == 1
+    assert set(sources) <= {"computed", "joined", "cache"}
+    assert cache.stats.computed == 1
+    assert cache.stats.joined + cache.stats.hits == 7
+
+
+def test_single_flight_propagates_errors_and_retries(tmp_path):
+    cache = SingleFlightCache(ResultStore(str(tmp_path)))
+    spec = SPECS[0]
+    calls = []
+
+    def failing(s):
+        calls.append(1)
+        raise ValueError("seeded failure")
+
+    with pytest.raises(ValueError, match="seeded failure"):
+        cache.get(spec, failing)
+    assert cache.stats.errors == 1
+    # The failure was not cached: the next request retries the compute.
+    result, source = cache.get(spec, stub_compute)
+    assert source == "computed"
+    assert len(calls) == 1
+    # ... and the retry's success is served from cache afterwards.
+    assert cache.get(spec, failing)[1] == "cache"
+
+
+def test_error_reaches_every_joiner(tmp_path):
+    cache = SingleFlightCache(ResultStore(str(tmp_path)))
+    spec = SPECS[1]
+    release = threading.Event()
+    entered = threading.Event()
+
+    def blocking_fail(s):
+        entered.set()
+        release.wait(10)
+        raise RuntimeError("flight failed")
+
+    failures = []
+
+    def leader():
+        try:
+            cache.get(spec, blocking_fail)
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    def joiner():
+        entered.wait(10)
+        try:
+            cache.get(spec, blocking_fail)
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    threads = [threading.Thread(target=leader),
+               threading.Thread(target=joiner)]
+    threads[0].start()
+    entered.wait(10)
+    threads[1].start()
+    # Give the joiner a moment to join the flight, then release it.
+    release.set()
+    for t in threads:
+        t.join(10)
+    assert failures == ["flight failed", "flight failed"]
+
+
+# --- store/load/evict interleavings (property test) -------------------
+
+
+def _entry_bytes():
+    with tempfile.TemporaryDirectory() as d:
+        probe = ResultStore(d)
+        probe.store(SPECS[0], stub_compute(SPECS[0]))
+        return os.path.getsize(probe.path_for(SPECS[0]))
+
+
+ENTRY_BYTES = _entry_bytes()
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.integers(0, 4)),
+        st.tuples(st.just("load"), st.integers(0, 4)),
+        st.tuples(st.just("evict"), st.just(0)),
+    ),
+    min_size=1, max_size=30)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=ops)
+def test_store_interleavings_never_lie_and_respect_budget(trace):
+    """Any store/load/evict sequence: loads are right-or-miss, disk fits."""
+    budget = ENTRY_BYTES * 2 + ENTRY_BYTES // 2  # room for two entries
+    with tempfile.TemporaryDirectory() as cache_dir:
+        store = ResultStore(cache_dir, memo_entries=2, byte_budget=budget)
+        expected = {s.cache_key(): json.dumps(
+            serialize_result(stub_compute(s)), sort_keys=True)
+            for s in SPECS}
+        for op, i in trace:
+            spec = SPECS[i]
+            if op == "store":
+                store.store(spec, stub_compute(spec))
+                assert store.disk_bytes() <= budget, \
+                    "byte budget exceeded after store"
+            elif op == "load":
+                result = store.load(spec)
+                if result is not None:
+                    wire = json.dumps(serialize_result(result),
+                                      sort_keys=True)
+                    assert wire == expected[spec.cache_key()], \
+                        "load returned a wrong result"
+            else:
+                store.evict_to_budget()
+                assert store.disk_bytes() <= budget
+
+
+# --- threaded stress (no torn reads through one shared store) ---------
+
+
+def test_concurrent_store_load_returns_right_or_miss(tmp_path):
+    store = ResultStore(str(tmp_path), memo_entries=3,
+                        byte_budget=ENTRY_BYTES * 3)
+    expected = {s.cache_key(): json.dumps(
+        serialize_result(stub_compute(s)), sort_keys=True)
+        for s in SPECS}
+    wrong = []
+
+    def worker(tid):
+        for round_no in range(30):
+            spec = SPECS[(tid + round_no) % len(SPECS)]
+            store.store(spec, stub_compute(spec))
+            loaded = store.load(SPECS[round_no % len(SPECS)])
+            if loaded is not None:
+                wire = json.dumps(serialize_result(loaded),
+                                  sort_keys=True)
+                if wire != expected[SPECS[round_no %
+                                          len(SPECS)].cache_key()]:
+                    wrong.append(wire)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert wrong == [], "a concurrent load observed a wrong/torn result"
+    assert len(store._memo) <= 3, "memo cap holds under concurrency"
