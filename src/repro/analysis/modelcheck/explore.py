@@ -281,6 +281,7 @@ def check_cell(scope: Scope, policy: str, *,
                         naive=naive_interleavings(scope), scope_ref=scope,
                         bounded=not scope.has_locks())
     sum_addrs = scope.amo_sum_addrs()
+    conserve_groups = scope.conservation_sums()
 
     root = _Node(machine.snapshot(), tuple([0] * cores), {}, (),
                  frozenset())
@@ -307,6 +308,15 @@ def check_cell(scope: Scope, policy: str, *,
                         "amo-atomicity",
                         f"end state: addr {addr:#x} holds {got}, the "
                         f"adds must sum to {want}",
+                        step=len(node.path)), node.path)
+            for addrs, want in conserve_groups:
+                got = sum(final_values.get(addr, 0) for addr in addrs)
+                if got != want:
+                    record(Violation(
+                        "conservation",
+                        f"end state: group "
+                        f"{[hex(a) for a in addrs]} sums to {got}, the "
+                        f"balanced adds must net to {want}",
                         step=len(node.path)), node.path)
             result.final_memories.add(node.snap[3])
             continue
@@ -443,6 +453,27 @@ def replay_trace(trace: Dict[str, Any]) -> ReplayResult:
                 prefix))
         if advanced:
             pcs[core] += 1
+    if all(pcs[c] >= len(scope.scripts[c]) for c in range(scope.cores)):
+        # The schedule ran every script to completion: the end-state
+        # invariants (per-address add sums, conservation groups) apply
+        # just as they do at a leaf of the exploration tree.
+        final_values = dict(world.machine.values)
+        full = tuple(schedule)
+        for addr, want in scope.amo_sum_addrs().items():
+            got = final_values.get(addr, 0)
+            if got != want:
+                violations.append(ViolationRecord(Violation(
+                    "amo-atomicity",
+                    f"end state: addr {addr:#x} holds {got}, the adds "
+                    f"must sum to {want}", step=len(schedule)), full))
+        for addrs, want in scope.conservation_sums():
+            got = sum(final_values.get(addr, 0) for addr in addrs)
+            if got != want:
+                violations.append(ViolationRecord(Violation(
+                    "conservation",
+                    f"end state: group {[hex(a) for a in addrs]} sums "
+                    f"to {got}, the balanced adds must net to {want}",
+                    step=len(schedule)), full))
     return ReplayResult(steps=len(schedule), violations=violations,
                         expected=trace.get("violation"))
 

@@ -64,6 +64,13 @@ class Scope:
     lines: Tuple[int, ...]
     scripts: Tuple[Tuple[ScriptOp, ...], ...]
     config_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: groups of line indices whose *summed* final value must equal the
+    #: net of the add operands applied to them (the bank-transfer
+    #: conservation invariant: debit/credit pairs cancel, so the total
+    #: is preserved under every interleaving).  Group lines must be
+    #: touched only by loads and add-AMOs (stores/swaps/cas would make
+    #: the net order-dependent).
+    conserve: Tuple[Tuple[int, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if len(self.scripts) != self.cores:
@@ -76,6 +83,19 @@ class Scope:
                 if not 0 <= op.line < len(self.lines):
                     raise ValueError(f"{self.name}: line index {op.line} "
                                      f"out of range")
+        add_pure = ("load", "ldadd", "stadd")
+        for group in self.conserve:
+            for line in group:
+                if not 0 <= line < len(self.lines):
+                    raise ValueError(f"{self.name}: conserve line index "
+                                     f"{line} out of range")
+            for script in self.scripts:
+                for op in script:
+                    if op.line in group and op.kind not in add_pure:
+                        raise ValueError(
+                            f"{self.name}: conserved line {op.line} is "
+                            f"touched by {op.kind!r}; only loads and "
+                            f"add-AMOs keep the group sum well-defined")
 
     def build_config(self) -> SystemConfig:
         """Machine configuration: TINY geometry scaled to ``cores``."""
@@ -135,6 +155,26 @@ class Scope:
                     impure.add(addr)
         return {a: s for a, s in sums.items() if a not in impure}
 
+    def conservation_sums(self) -> List[Tuple[Tuple[int, ...], int]]:
+        """Per-group ``(addresses, expected total)`` for ``conserve``.
+
+        The expected total is the net of every add operand applied to
+        the group's lines (memory starts zeroed), so a balanced
+        debit/credit script nets to zero.  Addresses are taken from the
+        scripted ops themselves, so offsets within conserved lines are
+        covered too.
+        """
+        groups: List[Tuple[Tuple[int, ...], int]] = []
+        for group in self.conserve:
+            addrs = tuple(sorted({
+                self.addr(op) for script in self.scripts for op in script
+                if op.line in group}))
+            net = sum(op.value for script in self.scripts for op in script
+                      if op.line in group
+                      and op.kind in ("ldadd", "stadd"))
+            groups.append((addrs, net))
+        return groups
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
@@ -143,6 +183,7 @@ class Scope:
             "scripts": [[op.as_dict() for op in script]
                         for script in self.scripts],
             "config_overrides": [list(kv) for kv in self.config_overrides],
+            "conserve": [list(group) for group in self.conserve],
         }
 
     @staticmethod
@@ -152,9 +193,12 @@ class Scope:
             for script in data["scripts"])
         overrides = tuple(
             (str(k), v) for k, v in data.get("config_overrides", ()))
+        conserve = tuple(tuple(int(line) for line in group)
+                         for group in data.get("conserve", ()))
         return Scope(name=str(data["name"]), cores=int(data["cores"]),
                      lines=tuple(int(x) for x in data["lines"]),
-                     scripts=scripts, config_overrides=overrides)
+                     scripts=scripts, config_overrides=overrides,
+                     conserve=conserve)
 
 
 def _ops(*specs: Tuple) -> Tuple[ScriptOp, ...]:
@@ -202,6 +246,15 @@ DEFAULT_SCOPES: Tuple[Scope, ...] = (
     Scope("disjoint", 2, (0, 1),
           (_ops(("ldadd", 0), ("load", 0), ("stadd", 0)),
            _ops(("ldadd", 1), ("store", 1, 2, 0, 8), ("ldadd", 1)))),
+    # Bank transfers (the txn family's BANK workload in miniature): two
+    # accounts, opposed debit/credit stadd pairs plus an atomic audit
+    # read.  The conservation invariant — the summed balance equals the
+    # operand net under *every* interleaving — is checked explicitly at
+    # each end state.
+    Scope("bank", 2, (0, 1),
+          (_ops(("stadd", 0, -3), ("stadd", 1, 3), ("ldadd", 0, 0)),
+           _ops(("stadd", 1, -2), ("stadd", 0, 2), ("ldadd", 1, 0))),
+          conserve=((0, 1),)),
     # One-way, one-set L1: every second access spills to L2 — the
     # departure hook (reuse-bit accounting) fires constantly.
     Scope("evict", 2, (0, 1),
@@ -212,8 +265,9 @@ DEFAULT_SCOPES: Tuple[Scope, ...] = (
 )
 
 #: Deterministic CI subset (``repro check --smoke``): the cheapest
-#: scopes that still cover AMO contention, locking and eviction.
-SMOKE_SCOPES: Tuple[str, ...] = ("counter", "read-amo", "evict")
+#: scopes that still cover AMO contention, locking, eviction and the
+#: bank conservation invariant.
+SMOKE_SCOPES: Tuple[str, ...] = ("counter", "read-amo", "evict", "bank")
 
 
 def scope_by_name(name: str,

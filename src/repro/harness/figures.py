@@ -418,6 +418,59 @@ def blame_study(runner: Optional[Runner] = None,
               + "; ".join(top_cats))
 
 
+#: Zipf-exponent sweep points of the txn figure (the KVS input grid)
+#: and the policies compared.
+TXN_FIGURE_INPUTS = ("zipf-0.5", "zipf-0.8", "zipf-1.1", "zipf-1.4")
+TXN_FIGURE_POLICIES = (BASELINE, "present-near", "dynamo-reuse-pn")
+
+
+def txn_study(runner: Optional[Runner] = None,
+              workload: str = "KVS",
+              inputs: Sequence[str] = TXN_FIGURE_INPUTS,
+              policies: Sequence[str] = TXN_FIGURE_POLICIES) -> FigureData:
+    """Transactional sweep: throughput + p99 lock-acquire vs Zipf alpha.
+
+    Runs the key-value workload across its Zipf-exponent inputs under
+    each policy with a :class:`~repro.obs.histogram.HistogramSink`
+    attached (instrumented runs never touch the cache) and reports two
+    series per policy: committed-transaction throughput per kilocycle
+    and the p99 lock-acquisition latency.  Steeper exponents pile the
+    lock traffic onto the hottest keys, which is where placement policy
+    moves the tail.  The ``runner`` argument only supplies the system
+    config.
+    """
+    runner = runner or Runner()
+    from repro.harness.executor import execute_spec, make_spec
+    from repro.obs.histogram import HistogramSink, histograms_from_metadata
+    from repro.workloads import make_workload
+    from repro.workloads.txn import alpha_from_input
+
+    xs = [alpha_from_input(inp) for inp in inputs]
+    series: Dict[str, List[float]] = {}
+    # The golden-corpus grid shape (t8, half scale) keeps the uncached
+    # instrumented runs CI-sized.
+    for policy in policies:
+        throughput, p99 = [], []
+        for inp in inputs:
+            spec = make_spec(workload, policy, threads=8, scale=0.5,
+                             input_name=inp, config=runner.config)
+            result = execute_spec(spec, extra_sinks=(HistogramSink(),))
+            wl = make_workload(workload, 8, scale=0.5, input_name=inp)
+            throughput.append(
+                result.throughput_per_kilocycle(wl.total_txns))
+            hists = histograms_from_metadata(result.metadata)
+            lock = hists.get("lock_acquire")
+            p99.append(lock.percentile(99) if lock is not None else 0.0)
+        series[f"txn-throughput/{policy}"] = throughput
+        series[f"p99-lock-acquire/{policy}"] = p99
+    return FigureData(
+        name="Txn study: Zipf skew vs throughput and lock tail latency",
+        xlabel="zipf alpha", xs=xs, series=series,
+        notes=f"{workload} at t8/x0.5; transactions per kilocycle "
+              "(higher is better) and p99 lock-acquire cycles (lower is "
+              "better), per policy")
+
+
 FIGURES = {
     "1": figure1,
     "6": figure6,
@@ -428,4 +481,5 @@ FIGURES = {
     "11": figure11,
     "energy": energy_study,
     "blame": blame_study,
+    "txn": txn_study,
 }

@@ -40,7 +40,7 @@ from repro.harness.executor import (RunSpec, execute_spec, make_spec,
                                     serialize_result)
 from repro.sim.events import Event, Sink
 from repro.sim.results import SimulationResult
-from repro.workloads import TABLE_III_CODES
+from repro.workloads import MICRO_SWEEP_CODES, TABLE_III_CODES, TXN_CODES
 
 #: Digest-file schema version (bump when the digest shape changes).
 GOLDEN_SCHEMA = 1
@@ -59,6 +59,12 @@ GOLDEN_SEED = 0
 
 #: Committed digest corpus, relative to the repository root.
 DEFAULT_DIGEST_PATH = os.path.join("tests", "golden", "digests.json")
+
+
+def golden_codes() -> List[str]:
+    """Workload codes of the corpus: Table III plus the txn family and
+    the microbench sweep grids (each at its default input)."""
+    return list(TABLE_III_CODES) + list(TXN_CODES) + list(MICRO_SWEEP_CODES)
 
 
 class TraceDigestSink(Sink):
@@ -85,10 +91,10 @@ class TraceDigestSink(Sink):
 
 
 def golden_specs() -> List[RunSpec]:
-    """Plan the pinned corpus grid (Table III order, policy-major cells)."""
+    """Plan the pinned corpus grid (registration order, policy-major)."""
     return [make_spec(wl, pol, threads=GOLDEN_THREADS, scale=GOLDEN_SCALE,
                       seed=GOLDEN_SEED)
-            for wl in TABLE_III_CODES
+            for wl in golden_codes()
             for pol in GOLDEN_POLICIES]
 
 

@@ -18,8 +18,10 @@ from repro.workloads import galois  # noqa: E402,F401
 from repro.workloads import gap  # noqa: E402,F401
 from repro.workloads import parsec  # noqa: E402,F401
 from repro.workloads import kernels  # noqa: E402,F401
+from repro.workloads import txn  # noqa: E402,F401
 
 from repro.workloads.microbench import SharedCounter  # noqa: E402
+from repro.workloads.txn import TXN_CODES  # noqa: E402
 
 #: Table III order: Splash-3, Galois, GAP, then the standalone kernels.
 TABLE_III_CODES = [
@@ -29,9 +31,12 @@ TABLE_III_CODES = [
     "FLU", "HIST", "RSOR", "SPMV",
 ]
 
+#: Microbench sweep families (not part of Table III).
+MICRO_SWEEP_CODES = ["AMOCOST", "FSHARE"]
+
 __all__ = [
     "HIGH_APKI_BOUND", "LOW_APKI_BOUND", "WORKLOADS", "AddressAllocator",
     "Workload", "WorkloadSpec", "all_codes", "classify_apki",
     "codes_by_intensity", "make_workload", "register", "inputs",
-    "SharedCounter", "TABLE_III_CODES",
+    "SharedCounter", "TABLE_III_CODES", "TXN_CODES", "MICRO_SWEEP_CODES",
 ]

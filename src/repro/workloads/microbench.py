@@ -1,17 +1,23 @@
-"""Shared-counter microbenchmark (paper Fig. 1).
+"""Microbenchmarks: shared counter (Fig. 1) plus two sweep families.
 
-Every thread repeatedly updates one shared variable with a fetch-and-add.
-The figure compares three mechanisms:
+:class:`SharedCounter` is the paper's Fig. 1 microbenchmark: every
+thread repeatedly updates one shared variable with a fetch-and-add,
+comparing Atomic-Near (``ldadd``, All Near), AtomicLoad-Far (``ldadd``,
+Unique Near) and AtomicStore-Far (``stadd``, Unique Near).  Near wins
+single-threaded, far AtomicStore wins at high thread counts — the
+L1-hit fast path versus home-node serialization.
 
-* *Atomic-Near* — ``ldadd`` under the All Near policy;
-* *AtomicLoad-Far* — ``ldadd`` under Unique Near (every contended update
-  goes to the home node and returns the old value);
-* *AtomicStore-Far* — ``stadd`` under Unique Near (no return value, the
-  dataless acknowledgement lets the core continue).
+:class:`AtomicCostSweep` grids op kind x sharing degree, after
+Schweizer et al., "Evaluating the Cost of Atomic Operations on Modern
+Architectures": the cost of an AMO is dominated by where it executes
+and how many cores share its target, not by the op kind — which is
+exactly the regime where placement policy matters.
 
-The metric is update throughput; the paper's headline observation — near
-wins single-threaded, far AtomicStore wins at high thread counts — falls
-out of the L1-hit fast path versus home-node serialization.
+:class:`FalseSharingSweep` contrasts padded vs packed per-thread
+counter layouts, after Dice et al.'s allocation-placement studies: the
+packed layout puts independent AMO targets on common cache blocks, so
+every update invalidates unrelated threads (deliberate false sharing,
+carrying the lint suppression to prove the checker sees it).
 """
 
 from __future__ import annotations
@@ -65,5 +71,109 @@ class SharedCounter(Workload):
                     yield isa.stadd(counter, 1)
                 else:
                     yield isa.ldadd(counter, 1)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+#: The atomic-cost grid: op kind x word count.  ``<op>-w<N>`` hammers
+#: ``N`` distinct words round-robin, so the sharing degree per word is
+#: ``threads / N`` — ``w1`` is full sharing, ``w4`` quarters it.
+AMO_COST_INPUTS = ("stadd-w1", "stadd-w4", "ldadd-w1", "ldadd-w4",
+                   "swap-w1", "swap-w4", "cas-w1", "cas-w4")
+
+
+@register
+class AtomicCostSweep(Workload):
+    """Atomic-cost grid: one AMO kind hammering a sized word set.
+
+    Each thread updates ``words[tid % N]`` in a tight loop; the input
+    name selects the op kind and the word count ``N``.  ``cas`` issues
+    ``cas(addr, 0, 0)`` — always successful, so the cost measured is
+    the operation itself, not retry loops.  All words live on distinct
+    blocks: the sweep isolates *true* sharing cost (contrast
+    :class:`FalseSharingSweep`).
+    """
+
+    spec = WorkloadSpec(
+        code="AMOCOST", name="Atomic-cost sweep", suite="micro",
+        input_name=AMO_COST_INPUTS[0],
+        primitives="ldadd/stadd/swap/cas", intensity="H",
+        description="op kind x sharing degree atomic-cost grid "
+                    "(Schweizer et al.)",
+        inputs=AMO_COST_INPUTS)
+
+    def __init__(self, num_threads: int, scale: float = 1.0, seed: int = 0,
+                 input_name=None) -> None:
+        super().__init__(num_threads, scale, seed, input_name)
+        self.op_kind, _, raw_words = self.input_name.partition("-w")
+        self.num_words = int(raw_words)
+        self.iterations = self.scaled(300)
+        self.word_addrs = self.layout.alloc_array(self.num_words, 64)
+
+    @property
+    def total_updates(self) -> int:
+        return self.iterations * self.num_threads
+
+    def programs(self) -> List[Program]:
+        op_kind = self.op_kind
+
+        def body(tid: int):
+            addr = self.word_addrs[tid % self.num_words]
+            for _ in range(self.iterations):
+                yield isa.think(2)
+                if op_kind == "stadd":
+                    yield isa.stadd(addr, 1)
+                elif op_kind == "ldadd":
+                    yield isa.ldadd(addr, 1)
+                elif op_kind == "swap":
+                    yield isa.swap(addr, tid + 1)
+                else:
+                    yield isa.cas(addr, 0, 0)
+
+        return [GeneratorProgram(body) for _ in range(self.num_threads)]
+
+
+@register
+class FalseSharingSweep(Workload):
+    """Allocation-placement sweep: padded vs packed counter layout.
+
+    Every thread owns one counter word and only ever updates its own —
+    there is no logical sharing at all.  ``padded`` places each word on
+    its own block (the Dice et al. recommendation); ``packed`` strides
+    them 8 bytes apart, so eight logically-private counters share each
+    block and every ``stadd`` bounces lines between all their owners.
+    """
+
+    # lint: allow-false-sharing -- the packed layout IS the experiment:
+    # the sweep measures exactly the pathology the checker flags.
+
+    spec = WorkloadSpec(
+        code="FSHARE", name="False-sharing sweep", suite="micro",
+        input_name="packed", primitives="stadd", intensity="H",
+        description="padded vs packed private-counter layout "
+                    "(Dice et al.)",
+        inputs=("packed", "padded"))
+
+    def __init__(self, num_threads: int, scale: float = 1.0, seed: int = 0,
+                 input_name=None) -> None:
+        super().__init__(num_threads, scale, seed, input_name)
+        self.iterations = self.scaled(300)
+        if self.input_name == "padded":
+            self.counter_addrs = self.layout.alloc_array(num_threads, 64)
+        else:
+            base = self.layout.alloc(num_threads * 8)
+            self.counter_addrs = [base + tid * 8
+                                  for tid in range(num_threads)]
+
+    @property
+    def total_updates(self) -> int:
+        return self.iterations * self.num_threads
+
+    def programs(self) -> List[Program]:
+        def body(tid: int):
+            addr = self.counter_addrs[tid]
+            for _ in range(self.iterations):
+                yield isa.think(2)
+                yield isa.stadd(addr, 1)
 
         return [GeneratorProgram(body) for _ in range(self.num_threads)]

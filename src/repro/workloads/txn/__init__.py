@@ -1,0 +1,22 @@
+"""Transactional workload family: Zipf-skewed request traffic over AMOs.
+
+Importing this package registers the four scenario workloads (``KVS``,
+``BOOK``, ``BANK``, ``TXMIX``) with the workload registry.  See
+DESIGN.md §13 for the runtime semantics and the substitution argument.
+"""
+
+from repro.workloads.txn import scenarios  # noqa: F401  (registers)
+from repro.workloads.txn.runtime import TxnRuntime
+from repro.workloads.txn.scenarios import (ZIPF_INPUTS, BankTransfer,
+                                           BookStore, KVStore, TxMix,
+                                           alpha_from_input)
+from repro.workloads.txn.zipf import DEFAULT_ALPHA, ZipfSampler, zipf_weights
+
+#: Registration order of the family (golden/figure grids use this).
+TXN_CODES = ["KVS", "BOOK", "BANK", "TXMIX"]
+
+__all__ = [
+    "DEFAULT_ALPHA", "TXN_CODES", "ZIPF_INPUTS", "BankTransfer",
+    "BookStore", "KVStore", "TxMix", "TxnRuntime", "ZipfSampler",
+    "alpha_from_input", "zipf_weights",
+]

@@ -1,0 +1,102 @@
+"""Transaction runtime: object table, canonical locking, txn counters.
+
+A transactional workload owns a :class:`TxnRuntime` holding its shared
+state:
+
+* one data word per object, each on its own cache block (updates are
+  plain stores, always under the object's lock);
+* one :class:`~repro.sync.spinlock.SpinLock` per object, each on its
+  own block (the lock word's placement is what DynAMO decides on);
+* AMO-only ``commits`` / ``retries`` counters (``stadd`` / ``ldadd``)
+  shared by every thread.
+
+:meth:`TxnRuntime.transaction` emits one whole transaction: all locks
+of the footprint are acquired in canonical (sorted) order — the
+classic deadlock-freedom discipline, which the lint lock-order checker
+verifies — reads and writes execute under the locks, the commit
+counter is bumped with a dataless ``stadd``, and the locks are
+released in reverse order.  The optional optimistic mode probes each
+lock word first and counts contended acquisition rounds in the
+``retries`` counter via ``ldadd`` before falling back to the blocking
+CAS loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.frontend import isa
+from repro.frontend.program import OpStream
+from repro.sync.spinlock import SpinLock
+from repro.workloads.base import AddressAllocator
+
+
+class TxnRuntime:
+    """Shared-object table plus commit/retry accounting for one workload."""
+
+    def __init__(self, layout: AddressAllocator, num_objects: int) -> None:
+        if num_objects < 1:
+            raise ValueError(f"need at least one object, got {num_objects}")
+        self.num_objects = num_objects
+        #: one data word per object, block-aligned (no false sharing).
+        self.object_addrs = layout.alloc_array(num_objects, 64)
+        #: one lock per object, each lock word on its own block.
+        self.locks = [SpinLock(addr)
+                      for addr in layout.alloc_array(num_objects, 64)]
+        #: transactions committed (stadd-only: dataless acknowledge).
+        self.commit_addr = layout.alloc(64)
+        #: contended acquisition rounds observed (ldadd-only).
+        self.retry_addr = layout.alloc(64)
+
+    def transaction(self, tid: int,
+                    reads: Sequence[int] = (),
+                    writes: Optional[Mapping[int, int]] = None,
+                    *, rng: Optional[random.Random] = None,
+                    optimistic: bool = False) -> OpStream:
+        """One transaction over object ranks (generator; ``yield from``).
+
+        ``reads`` are object ranks loaded inside the critical section;
+        ``writes`` maps object ranks to the values stored.  The lock
+        footprint is the union of both sets, acquired in canonical
+        ascending-rank order.  With ``optimistic`` the runtime reads
+        each lock word before the blocking acquire and charges one
+        ``retries`` tick per lock it found taken.
+        """
+        writes = dict(writes or {})
+        footprint = sorted(set(reads) | set(writes))
+        for rank in footprint:
+            lock = self.locks[rank]
+            if optimistic:
+                holder = yield isa.read(lock.addr)
+                if holder != 0:
+                    yield isa.ldadd(self.retry_addr, 1)
+            yield from lock.acquire(tid, rng=rng)
+        for rank in reads:
+            yield isa.read(self.object_addrs[rank])
+        for rank, value in writes.items():
+            yield isa.write(self.object_addrs[rank], value)
+        yield isa.stadd(self.commit_addr, 1)
+        for rank in reversed(footprint):
+            yield from self.locks[rank].release(tid)
+
+    def transfer(self, source: int, target: int, amount: int) -> OpStream:
+        """Lock-free two-account transfer (generator; ``yield from``).
+
+        The debit/credit pair is two dataless ``stadd``s whose operands
+        net to zero, so the sum over the object table is conserved under
+        *every* interleaving — the invariant the model checker's
+        ``bank`` scope explores exhaustively.
+        """
+        yield isa.stadd(self.object_addrs[source], -amount)
+        yield isa.stadd(self.object_addrs[target], amount)
+        yield isa.stadd(self.commit_addr, 1)
+
+    def audit(self, ranks: Iterable[int]) -> OpStream:
+        """Atomic balance reads (``ldadd 0``) of the given objects."""
+        for rank in ranks:
+            yield isa.ldadd(self.object_addrs[rank], 0)
+
+    def initial_balances(self, value: int) -> Dict[int, int]:
+        """Initial memory image: every object word starts at ``value``."""
+        return {addr: value for addr in self.object_addrs}

@@ -2,6 +2,7 @@
 replayable counterexamples, the runtime sanitizer, and the JSON schema.
 """
 
+import contextlib
 import json
 import os
 from unittest import mock
@@ -174,6 +175,95 @@ def test_seeded_mutation_fires_invariant(scope_name, policy, invariant,
     clean = replay_trace(trace)
     assert not any(r.violation.invariant == invariant
                    for r in clean.violations)
+
+
+# --- bank scope: conservation across balanced transfers --------------------
+
+@contextlib.contextmanager
+def _drop_negative_adds():
+    """Seeded fault: ADD AMOs with negative operands are lost.
+
+    Models a dropped update on the debit half of a transfer pair —
+    exactly the corruption the conservation invariant exists to catch.
+    The shadow serialization is patched to drop the same adds so the
+    per-step value checks stay green (machine and shadow agree on the
+    corrupted history); only the end-state checks, whose expectations
+    come from the *script operands*, can see the loss.
+    """
+    from repro.analysis.modelcheck import explore
+    from repro.frontend.isa import AmoKind
+
+    real_apply = Machine._apply_amo_value
+    real_shadow = explore.apply_shadow
+
+    def patched_apply(self, op):
+        if op.amo is AmoKind.ADD and op.value < 0:
+            return self.values.get(op.addr, 0)
+        return real_apply(self, op)
+
+    def patched_shadow(shadow, kind, addr, value, expected):
+        if kind in ("ldadd", "stadd") and value < 0:
+            return shadow.get(addr, 0)
+        return real_shadow(shadow, kind, addr, value, expected)
+
+    with mock.patch.object(Machine, "_apply_amo_value", patched_apply), \
+            mock.patch.object(explore, "apply_shadow", patched_shadow):
+        yield
+
+
+class TestBankConservation:
+    def test_bank_scope_in_default_and_smoke_grids(self):
+        assert any(s.name == "bank" for s in DEFAULT_SCOPES)
+        assert "bank" in SMOKE_SCOPES
+
+    def test_conservation_sums_derived_from_scripts(self):
+        scope = scope_by_name("bank")
+        (addrs, net), = scope.conservation_sums()
+        assert len(addrs) == 2
+        # The transfer pairs are balanced; only the audit ldadds (+0)
+        # remain, so the net is zero.
+        assert net == 0
+
+    def test_conserve_round_trips_through_json(self):
+        scope = scope_by_name("bank")
+        assert scope.conserve == ((0, 1),)
+        assert Scope.from_dict(scope.as_dict()) == scope
+
+    def test_conserve_rejects_out_of_range_lines(self):
+        base = scope_by_name("bank")
+        with pytest.raises(ValueError, match="line"):
+            Scope("bad", base.cores, base.lines, base.scripts,
+                  conserve=((0, 7),))
+
+    def test_conserve_rejects_non_add_ops(self):
+        base = scope_by_name("mixed-rw")  # has plain stores on line 0
+        with pytest.raises(ValueError, match="touched by 'store'"):
+            Scope("bad", base.cores, base.lines, base.scripts,
+                  conserve=((0,),))
+
+    def test_bank_cell_clean_on_pristine_machine(self):
+        cell = check_cell(scope_by_name("bank"), "dynamo-reuse-pn")
+        assert cell.complete
+        assert cell.violations == []
+
+    def test_dropped_debit_fires_conservation(self):
+        scope = scope_by_name("bank")
+        with _drop_negative_adds():
+            # Raise the per-cell cap: every schedule also trips the
+            # per-address amo-sum invariant, which would otherwise
+            # crowd the conservation record out of the first five.
+            cell = check_cell(scope, "all-near", max_violations=50)
+        fired = {rec.violation.invariant for rec in cell.violations}
+        assert "conservation" in fired, f"fired={fired}"
+        rec = next(r for r in cell.violations
+                   if r.violation.invariant == "conservation")
+        trace = rec.trace_dict(scope, "all-near")
+        with _drop_negative_adds():
+            assert replay_trace(trace).reproduced
+        # The pristine machine conserves on the very same schedule.
+        clean = replay_trace(trace)
+        assert not any(r.violation.invariant == "conservation"
+                       for r in clean.violations)
 
 
 def test_mutation_report_matches_schema(tmp_path):

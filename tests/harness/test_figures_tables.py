@@ -89,7 +89,21 @@ class TestFigureDrivers:
 
     def test_figures_registry(self):
         assert set(figures.FIGURES) == {"1", "6", "7", "8", "9", "10", "11",
-                                        "energy", "blame"}
+                                        "energy", "blame", "txn"}
+
+    def test_txn_study_small(self, tmp_runner):
+        data = figures.txn_study(tmp_runner,
+                                 inputs=("zipf-0.5", "zipf-1.4"),
+                                 policies=("all-near", "dynamo-reuse-pn"))
+        assert data.xs == [0.5, 1.4]
+        for policy in ("all-near", "dynamo-reuse-pn"):
+            throughput = data.series[f"txn-throughput/{policy}"]
+            p99 = data.series[f"p99-lock-acquire/{policy}"]
+            assert all(t > 0 for t in throughput)
+            # Sharper skew concentrates lock traffic on the hot keys:
+            # the acquisition tail grows and throughput drops.
+            assert p99[-1] > p99[0]
+            assert throughput[-1] < throughput[0]
 
     def test_energy_study_small(self, tmp_runner):
         data = figures.energy_study(tmp_runner, workloads=("HIST", "RAY"))

@@ -1,0 +1,58 @@
+"""Txn workloads are servable: one real-HTTP batch across the family.
+
+The transactional scenarios register through the same ``WORKLOADS``
+registry the service resolves specs against, so a mixed txn batch must
+compute, serialize, cache, and replay like any Table III cell — and the
+KVS cell at golden coordinates must hash to its committed digest.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.harness.golden import (GOLDEN_SCALE, GOLDEN_SEED,
+                                  GOLDEN_THREADS, load_digests)
+
+DIGESTS = load_digests(os.path.join(os.path.dirname(__file__), os.pardir,
+                                    "golden", "digests.json"))
+
+#: One cell per txn scenario, cheap coordinates, mixed policies and
+#: inputs (including a non-default Zipf exponent).
+TXN_CELLS = [
+    {"workload": "KVS", "policy": "all-near", "input": "zipf-1.4"},
+    {"workload": "BOOK", "policy": "present-near"},
+    {"workload": "BANK", "policy": "dynamo-reuse-pn"},
+    {"workload": "TXMIX", "policy": "all-near", "input": "write-heavy"},
+]
+
+
+def _cells():
+    return [dict(c, threads=4, scale=0.2, seed=0) for c in TXN_CELLS]
+
+
+def test_txn_batch_computes_and_caches(real_service):
+    _server, client = real_service
+    job = client.run_batch(_cells())
+    assert job["counts"]["error"] == 0
+    for sent, cell in zip(TXN_CELLS, job["cells"]):
+        assert cell["result"]["policy"] == sent["policy"]
+        assert cell["result"]["cycles"] > 0
+        assert cell["result"]["amos_committed"] > 0
+
+    # Same batch again: answered from the cache, byte-for-byte equal.
+    again = client.run_batch(_cells())
+    assert [c["source"] for c in again["cells"]] == ["cache"] * len(TXN_CELLS)
+    for first, second in zip(job["cells"], again["cells"]):
+        assert first["result"] == second["result"]
+
+
+def test_served_kvs_cell_matches_golden_digest(real_service):
+    _server, client = real_service
+    cell = {"workload": "KVS", "policy": "present-near",
+            "threads": GOLDEN_THREADS, "scale": GOLDEN_SCALE,
+            "seed": GOLDEN_SEED}
+    job = client.run_batch([cell])
+    assert job["counts"]["error"] == 0
+    served = hashlib.sha256(json.dumps(
+        job["cells"][0]["result"], sort_keys=True).encode()).hexdigest()
+    assert served == DIGESTS["cells"]["KVS/present-near"]["result_sha256"]

@@ -90,3 +90,44 @@ class TestRegistry:
             assert spec.code == code
             assert spec.name and spec.suite and spec.primitives
             assert spec.intensity in ("L", "M", "H")
+
+
+class TestRegistrationCoverage:
+    """No workload class can exist without being registered.
+
+    A concrete ``Workload`` subclass that misses its ``@register``
+    decorator silently drops out of the golden corpus, lint sweep, and
+    service — so walk every module under ``repro.workloads`` and demand
+    that each class carrying its own spec is in ``WORKLOADS``.
+    """
+
+    @staticmethod
+    def _module_level_workloads():
+        import importlib
+        import pkgutil
+
+        import repro.workloads as pkg
+        from repro.workloads.base import Workload
+
+        found = {}
+        for info in pkgutil.walk_packages(pkg.__path__,
+                                          prefix=pkg.__name__ + "."):
+            module = importlib.import_module(info.name)
+            for name in dir(module):
+                obj = getattr(module, name)
+                if (isinstance(obj, type) and issubclass(obj, Workload)
+                        and "spec" in obj.__dict__):
+                    found[obj.spec.code] = obj
+        return found
+
+    def test_every_concrete_workload_is_registered(self):
+        for code, cls in self._module_level_workloads().items():
+            assert WORKLOADS.get(code) is cls, \
+                f"{cls.__name__} defines spec {code!r} but is not registered"
+
+    def test_new_families_registered_and_disjoint_from_table_iii(self):
+        from repro.workloads import MICRO_SWEEP_CODES, TXN_CODES
+
+        for code in TXN_CODES + MICRO_SWEEP_CODES:
+            assert code in WORKLOADS
+        assert not set(TXN_CODES + MICRO_SWEEP_CODES) & set(TABLE_III_CODES)
